@@ -1,0 +1,34 @@
+# delaycalc — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test race bench cover figures fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper figure and extension experiment (CSV into results/).
+figures:
+	$(GO) run ./cmd/figures -csv results | tee results/figures.txt
+
+fuzz:
+	$(GO) test -fuzz=FuzzAlgebra -fuzztime=30s ./internal/minplus
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/netspec
+
+clean:
+	rm -rf results

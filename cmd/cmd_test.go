@@ -1,0 +1,120 @@
+// Package cmd_test builds the four command-line tools once and exercises
+// their primary flag combinations end to end.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "delaycalc-cmds")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"delaycalc", "figures", "simulate", "admit"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "delaycalc/cmd/"+tool)
+		cmd.Dir = ".."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes a built tool and returns combined output; it fails the test
+// unless the exit status matches wantOK.
+func run(t *testing.T, wantOK bool, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if (err == nil) != wantOK {
+		t.Fatalf("%s %v: err=%v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestDelaycalcTandem(t *testing.T) {
+	out := run(t, true, "delaycalc", "-tandem", "3", "-load", "0.7", "-stages", "-backlogs")
+	for _, want := range []string{"algorithm: Integrated", "conn0", "servers [0 1]", "buffer bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDelaycalcSpecAndAlgos(t *testing.T) {
+	spec := filepath.Join(t.TempDir(), "net.json")
+	doc := `{"servers":[{"name":"a","capacity":1},{"name":"b","capacity":1}],
+	 "connections":[{"name":"c","sigma":1,"rho":0.2,"access_rate":1,"path":["a","b"],"deadline":9}]}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"integrated", "decomposed", "servicecurve"} {
+		out := run(t, true, "delaycalc", "-spec", spec, "-algo", algo)
+		if !strings.Contains(out, "9 OK") {
+			t.Errorf("algo %s: deadline status missing:\n%s", algo, out)
+		}
+	}
+}
+
+func TestDelaycalcDOT(t *testing.T) {
+	out := run(t, true, "delaycalc", "-tandem", "2", "-dot")
+	if !strings.Contains(out, "digraph network") || !strings.Contains(out, "s0 -> s1") {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+}
+
+func TestDelaycalcErrors(t *testing.T) {
+	run(t, false, "delaycalc")
+	run(t, false, "delaycalc", "-tandem", "3", "-algo", "bogus")
+	run(t, false, "delaycalc", "-spec", "/nonexistent.json")
+}
+
+func TestFiguresSingle(t *testing.T) {
+	out := run(t, true, "figures", "-fig", "burst")
+	if !strings.Contains(out, "Burstiness invariance") {
+		t.Errorf("missing burstiness panel:\n%s", out)
+	}
+	run(t, false, "figures", "-fig", "nope")
+}
+
+func TestFiguresCSV(t *testing.T) {
+	dir := t.TempDir()
+	run(t, true, "figures", "-fig", "burst", "-csv", dir)
+	data, err := os.ReadFile(filepath.Join(dir, "burstiness.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,") {
+		t.Errorf("csv malformed: %q", data[:20])
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	out := run(t, true, "simulate", "-tandem", "2", "-load", "0.6", "-packet", "0.05")
+	for _, want := range []string{"conn0", "Integrated", "Decomposed", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	run(t, true, "simulate", "-tandem", "2", "-source", "cbr")
+	run(t, true, "simulate", "-tandem", "2", "-source", "onoff")
+	run(t, false, "simulate", "-tandem", "2", "-source", "warp")
+	run(t, false, "simulate")
+}
+
+func TestAdmit(t *testing.T) {
+	out := run(t, true, "admit", "-servers", "3", "-deadline", "10", "-limit", "40")
+	if !strings.Contains(out, "Integrated") || !strings.Contains(out, "admitted") {
+		t.Errorf("output malformed:\n%s", out)
+	}
+}

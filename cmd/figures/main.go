@@ -1,0 +1,159 @@
+// Command figures regenerates the paper's evaluation figures (and the
+// supporting experiments from DESIGN.md) as ASCII charts, tables, and
+// optional CSV files.
+//
+// Usage:
+//
+//	figures                 # all figures
+//	figures -fig 5          # only Figure 5
+//	figures -fig burst      # the burstiness-invariance check
+//	figures -fig validate   # simulation vs bounds
+//	figures -fig ablation   # pairing ablation
+//	figures -fig greedygap  # Lemma-4 greedy estimate vs sound bound vs sim
+//	figures -fig gr         # guaranteed-rate comparison
+//	figures -fig sp         # static-priority extension
+//	figures -csv DIR        # additionally write CSV series into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"delaycalc/internal/experiments"
+	"delaycalc/internal/textplot"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "which figure to produce: 4, 5, 6, burst, validate, ablation, greedygap, gr, sp, edf, chains, admission, all")
+		csvDir = flag.String("csv", "", "directory to write CSV series into")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	var failed bool
+
+	emit := func(name string, series []textplot.Series, text string) {
+		fmt.Println(text)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				failed = true
+				return
+			}
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(textplot.CSV(series)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				failed = true
+				return
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+
+	if want("4") {
+		f, err := experiments.Figure4(nil)
+		check(err)
+		emit("figure4_delay", f.Delays, experiments.Render(f))
+		if *csvDir != "" {
+			emit("figure4_improvement", f.Improvement, "")
+		}
+	}
+	if want("5") {
+		f, err := experiments.Figure5(nil)
+		check(err)
+		emit("figure5_delay", f.Delays, experiments.Render(f))
+		if *csvDir != "" {
+			emit("figure5_improvement", f.Improvement, "")
+		}
+	}
+	if want("6") {
+		f, err := experiments.Figure6(nil)
+		check(err)
+		emit("figure6_delay", f.Delays, experiments.Render(f))
+		if *csvDir != "" {
+			emit("figure6_improvement", f.Improvement, "")
+		}
+	}
+	if want("burst") {
+		imp, abs, err := experiments.BurstinessSweep(4, 0.6, []float64{0.5, 1, 2, 4, 8})
+		check(err)
+		series := []textplot.Series{imp, abs}
+		text := textplot.Plot("Burstiness invariance (Section 4.1 claim)", []textplot.Series{imp}, 64, 12) +
+			"\n" + textplot.Table(series)
+		emit("burstiness", series, text)
+	}
+	if want("validate") {
+		series, err := experiments.ValidationSweep(4, nil, 0.02)
+		check(err)
+		text := textplot.PlotLog("Simulated worst case vs analytic bounds (n=4)", series, 64, 16) +
+			"\n" + textplot.Table(series)
+		emit("validation", series, text)
+	}
+	if want("ablation") {
+		series, err := experiments.AblationPairing(4, nil)
+		check(err)
+		text := textplot.Plot("Ablation: two-server pairing vs singletons (n=4)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("ablation_pairing", series, text)
+	}
+	if want("greedygap") {
+		series, err := experiments.GreedyGap(nil)
+		check(err)
+		text := textplot.Plot("Greedy Lemma-4 estimate vs sound bound vs simulation (n=2)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("greedy_gap", series, text)
+	}
+	if want("gr") {
+		series, err := experiments.GuaranteedRateComparison(4, nil)
+		check(err)
+		text := textplot.Plot("Guaranteed-rate servers: network curve vs decomposition (n=4)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("guaranteed_rate", series, text)
+	}
+	if want("edf") {
+		series, err := experiments.EDFExperiment(4, nil)
+		check(err)
+		text := textplot.Plot("EDF extension: urgent vs cross vs FIFO (n=4)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("edf", series, text)
+	}
+	if want("chains") {
+		series, err := experiments.ChainLengthSweep(6, nil)
+		check(err)
+		text := textplot.Plot("Integrated chain length sweep (n=6)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("chain_length", series, text)
+	}
+	if want("admission") {
+		series, err := experiments.AdmissionCapacity(4, nil, 100)
+		check(err)
+		text := textplot.Plot("Admission capacity vs deadline (n=4)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("admission_capacity", series, text)
+	}
+	if want("sp") {
+		series, err := experiments.StaticPriorityExperiment(4, nil)
+		check(err)
+		text := textplot.Plot("Static-priority extension (n=4)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("static_priority", series, text)
+	}
+	if !strings.Contains("4 5 6 burst validate ablation greedygap gr sp edf chains admission all", *fig) {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// Package examples_test runs every example program end to end and checks
+// it exits cleanly, so the documented walkthroughs cannot rot.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string, wantSubstrings ...string) {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s failed: %v\n%s", name, err, out)
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("%s output missing %q:\n%s", name, want, out)
+		}
+	}
+}
+
+func TestQuickstart(t *testing.T) {
+	runExample(t, "quickstart", "Integrated", "per-subnetwork breakdown")
+}
+
+func TestVideoconf(t *testing.T) {
+	runExample(t, "videoconf", "all deadlines met")
+}
+
+func TestValidation(t *testing.T) {
+	runExample(t, "validation", "all bounds hold")
+}
+
+func TestSpnet(t *testing.T) {
+	runExample(t, "spnet", "bound holds in execution")
+}
+
+func TestATM(t *testing.T) {
+	runExample(t, "atm", "guaranteed", "spec round-trips")
+}
+
+func TestVBRVideo(t *testing.T) {
+	runExample(t, "vbrvideo", "both bounds hold")
+}

@@ -1,0 +1,3 @@
+module delaycalc
+
+go 1.22

@@ -1,0 +1,155 @@
+// Package admission implements connection admission control (CAC), the
+// application that motivates the paper: a new connection with a
+// deterministic end-to-end deadline is admitted if and only if, with it
+// added, the chosen delay analysis still proves every admitted connection's
+// deadline. A tighter analysis therefore directly translates into more
+// admitted connections at the same quality of service — the paper's
+// utilization argument.
+package admission
+
+import (
+	"fmt"
+	"math"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// Controller performs admission tests against a fixed server fabric.
+type Controller struct {
+	servers  []server.Server
+	analyzer analysis.Analyzer
+	admitted []topo.Connection
+}
+
+// New creates a controller over the given servers using the given
+// analyzer for the admission test.
+func New(servers []server.Server, analyzer analysis.Analyzer) (*Controller, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("admission: no servers")
+	}
+	for i, s := range servers {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("admission: server %d: %w", i, err)
+		}
+	}
+	if analyzer == nil {
+		return nil, fmt.Errorf("admission: nil analyzer")
+	}
+	cp := make([]server.Server, len(servers))
+	copy(cp, servers)
+	return &Controller{servers: cp, analyzer: analyzer}, nil
+}
+
+// Admitted returns a copy of the currently admitted connections.
+func (c *Controller) Admitted() []topo.Connection {
+	out := make([]topo.Connection, len(c.admitted))
+	copy(out, c.admitted)
+	return out
+}
+
+// Count returns the number of admitted connections.
+func (c *Controller) Count() int { return len(c.admitted) }
+
+// network materializes the current (or trial) connection set.
+func (c *Controller) network(extra ...topo.Connection) *topo.Network {
+	net := &topo.Network{Servers: c.servers}
+	net.Connections = append(net.Connections, c.admitted...)
+	net.Connections = append(net.Connections, extra...)
+	return net
+}
+
+// Decision records the outcome of an admission test.
+type Decision struct {
+	Admitted bool
+	// Reason explains a rejection.
+	Reason string
+	// Bounds holds the post-admission delay bounds per connection
+	// (admitted connections first, the candidate last) when the test ran.
+	Bounds []float64
+}
+
+// Test checks whether the candidate could be admitted without mutating the
+// controller.
+func (c *Controller) Test(cand topo.Connection) (Decision, error) {
+	if cand.Deadline <= 0 {
+		return Decision{Reason: "candidate has no deadline"}, fmt.Errorf("admission: candidate %q has no deadline", cand.Name)
+	}
+	trial := c.network(cand)
+	if err := trial.Validate(); err != nil {
+		return Decision{Reason: err.Error()}, err
+	}
+	if !trial.Stable() {
+		return Decision{Reason: "network would be unstable"}, nil
+	}
+	res, err := c.analyzer.Analyze(trial)
+	if err != nil {
+		return Decision{Reason: err.Error()}, err
+	}
+	for i, conn := range trial.Connections {
+		if conn.Deadline <= 0 {
+			continue
+		}
+		if math.IsInf(res.Bound(i), 1) || res.Bound(i) > conn.Deadline {
+			name := conn.Name
+			if name == "" {
+				name = fmt.Sprintf("connection %d", i)
+			}
+			return Decision{
+				Reason: fmt.Sprintf("%s would miss its deadline: bound %.6g > %.6g", name, res.Bound(i), conn.Deadline),
+				Bounds: res.Bounds,
+			}, nil
+		}
+	}
+	return Decision{Admitted: true, Bounds: res.Bounds}, nil
+}
+
+// Admit runs Test and, on success, commits the candidate.
+func (c *Controller) Admit(cand topo.Connection) (Decision, error) {
+	d, err := c.Test(cand)
+	if err != nil {
+		return d, err
+	}
+	if d.Admitted {
+		c.admitted = append(c.admitted, cand)
+	}
+	return d, nil
+}
+
+// Remove releases a previously admitted connection by name.
+func (c *Controller) Remove(name string) bool {
+	for i, conn := range c.admitted {
+		if conn.Name == name {
+			c.admitted = append(c.admitted[:i], c.admitted[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns the per-server utilization of the admitted set.
+func (c *Controller) Utilization() []float64 {
+	return c.network().Utilization()
+}
+
+// FillGreedy admits copies of the template connection (numbered names)
+// until the first rejection, returning how many were admitted. It is the
+// measurement loop used to compare the admission capacity enabled by
+// different analyzers.
+func (c *Controller) FillGreedy(template topo.Connection, limit int) (int, error) {
+	n := 0
+	for n < limit {
+		cand := template
+		cand.Name = fmt.Sprintf("%s#%d", template.Name, c.Count())
+		d, err := c.Admit(cand)
+		if err != nil {
+			return n, err
+		}
+		if !d.Admitted {
+			return n, nil
+		}
+		n++
+	}
+	return n, nil
+}

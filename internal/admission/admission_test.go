@@ -1,0 +1,162 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+	"delaycalc/internal/traffic"
+)
+
+func fabric(n int) []server.Server {
+	servers := make([]server.Server, n)
+	for i := range servers {
+		servers[i] = server.Server{Name: string(rune('a' + i)), Capacity: 1, Discipline: server.FIFO}
+	}
+	return servers
+}
+
+func conn(name string, deadline float64, path ...int) topo.Connection {
+	return topo.Connection{
+		Name:       name,
+		Bucket:     traffic.TokenBucket{Sigma: 1, Rho: 0.1},
+		AccessRate: 1,
+		Path:       path,
+		Deadline:   deadline,
+	}
+}
+
+func TestAdmitAndReject(t *testing.T) {
+	c, err := New(fabric(2), analysis.Integrated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Admit(conn("v1", 5, 0, 1))
+	if err != nil || !d.Admitted {
+		t.Fatalf("first connection rejected: %+v, %v", d, err)
+	}
+	// A candidate with an absurdly tight deadline is rejected and leaves
+	// the state untouched.
+	d, err = c.Admit(conn("tight", 1e-6, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admitted {
+		t.Fatal("tight deadline admitted")
+	}
+	if !strings.Contains(d.Reason, "deadline") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if c.Count() != 1 {
+		t.Errorf("count = %d after rejection, want 1", c.Count())
+	}
+}
+
+func TestAdmitProtectsExisting(t *testing.T) {
+	c, _ := New(fabric(1), analysis.Decomposed{})
+	// First connection has a deadline that new arrivals would violate.
+	if d, _ := c.Admit(conn("first", 1.0, 0)); !d.Admitted {
+		t.Fatal("first not admitted")
+	}
+	// Each extra identical flow adds sigma/(C-rho) ~ 1.11 to the shared
+	// FIFO bound; the second pushes first's bound past 1.0.
+	d, err := c.Admit(conn("second", 100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admitted {
+		t.Fatal("second admission should have been blocked by first's deadline")
+	}
+	if !strings.Contains(d.Reason, "first") {
+		t.Errorf("reason should blame the existing connection: %q", d.Reason)
+	}
+}
+
+func TestRejectUnstable(t *testing.T) {
+	c, _ := New(fabric(1), analysis.Decomposed{})
+	big := conn("big", 100, 0)
+	big.Bucket.Rho = 0.6
+	if d, _ := c.Admit(big); !d.Admitted {
+		t.Fatal("first big flow should fit")
+	}
+	big2 := big
+	big2.Name = "big2"
+	d, err := c.Admit(big2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admitted || !strings.Contains(d.Reason, "unstable") {
+		t.Fatalf("expected stability rejection, got %+v", d)
+	}
+}
+
+func TestNoDeadlineIsError(t *testing.T) {
+	c, _ := New(fabric(1), analysis.Decomposed{})
+	if _, err := c.Admit(conn("free", 0, 0)); err == nil {
+		t.Fatal("expected error for deadline-less candidate")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, _ := New(fabric(2), analysis.Decomposed{})
+	c.Admit(conn("v1", 50, 0, 1))
+	c.Admit(conn("v2", 50, 0, 1))
+	if !c.Remove("v1") {
+		t.Fatal("remove failed")
+	}
+	if c.Remove("v1") {
+		t.Fatal("double remove succeeded")
+	}
+	if c.Count() != 1 || c.Admitted()[0].Name != "v2" {
+		t.Errorf("unexpected state after removal: %+v", c.Admitted())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c, _ := New(fabric(2), analysis.Decomposed{})
+	c.Admit(conn("v1", 50, 0, 1))
+	u := c.Utilization()
+	if u[0] != 0.1 || u[1] != 0.1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestTighterAnalysisAdmitsMore(t *testing.T) {
+	// The paper's utilization argument: with the same deadline, the
+	// integrated analysis admits at least as many connections as the
+	// decomposed one on a multi-hop path.
+	template := conn("flow", 14, 0, 1, 2, 3)
+	template.Bucket.Rho = 0.02
+
+	cd, _ := New(fabric(4), analysis.Decomposed{})
+	nd, err := cd.FillGreedy(template, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _ := New(fabric(4), analysis.Integrated{})
+	ni, err := ci.FillGreedy(template, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ni < nd {
+		t.Errorf("integrated admitted %d < decomposed %d", ni, nd)
+	}
+	if ni == 0 {
+		t.Error("integrated admitted nothing")
+	}
+	t.Logf("admitted: decomposed=%d integrated=%d", nd, ni)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, analysis.Decomposed{}); err == nil {
+		t.Error("expected error for empty fabric")
+	}
+	if _, err := New(fabric(1), nil); err == nil {
+		t.Error("expected error for nil analyzer")
+	}
+	if _, err := New([]server.Server{{Capacity: -1}}, analysis.Decomposed{}); err == nil {
+		t.Error("expected error for invalid server")
+	}
+}

@@ -1,0 +1,284 @@
+// Package analysis implements the end-to-end worst-case delay analyses the
+// paper studies and compares:
+//
+//   - Decomposed: Cruz's decomposition-based analysis (one server at a
+//     time, burstiness propagated, local delays summed).
+//   - ServiceCurve: the induced-service-curve analysis (per-connection
+//     leftover service curves convolved into a network service curve).
+//   - Integrated: the paper's contribution — subnetworks of up to two
+//     servers analyzed jointly with the input/output-function lemmas
+//     (Lemmas 1-4, Theorem 1), capturing the delay dependency between
+//     consecutive FIFO servers.
+//
+// Extensions the paper announces as ongoing work are also provided:
+// static-priority servers (per-class leftover analysis in the decomposed
+// pass, plus IntegratedSP — the integrated analysis per priority class),
+// guaranteed-rate servers (GuaranteedRateNetworkCurve, where the
+// service-curve method is the right tool), and EDF servers
+// (schedulability and uniform-lateness bounds).
+//
+// All analyzers consume a topo.Network and produce per-connection
+// end-to-end delay bounds plus a per-stage breakdown.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"delaycalc/internal/minplus"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// Stage records one step of a connection's per-stage delay breakdown.
+type Stage struct {
+	// Servers lists the server indices of the subnetwork this stage
+	// covers (one server for decomposition, up to two for the integrated
+	// analysis).
+	Servers []int
+	// Delay is the worst-case delay bound contributed by the stage.
+	Delay float64
+}
+
+// Result is the output of an analyzer run.
+type Result struct {
+	Algorithm string
+	// Bounds holds one end-to-end delay bound per connection, indexed
+	// like Network.Connections. +Inf marks an unstable or unanalyzable
+	// connection.
+	Bounds []float64
+	// Stages breaks each bound into per-subnetwork contributions.
+	Stages [][]Stage
+	// Backlogs holds one worst-case buffer occupancy bound per server
+	// (in bits), indexed like Network.Servers: the vertical deviation
+	// between the server's aggregate input envelope and its service
+	// line, valid for any work-conserving discipline. Zero for servers
+	// no connection crosses.
+	Backlogs []float64
+}
+
+// Bound returns the end-to-end bound of connection i.
+func (r *Result) Bound(i int) float64 { return r.Bounds[i] }
+
+// Backlog returns the buffer bound of server s (zero when the analyzer
+// did not record backlogs).
+func (r *Result) Backlog(s int) float64 {
+	if s >= len(r.Backlogs) {
+		return 0
+	}
+	return r.Backlogs[s]
+}
+
+// MaxBound returns the largest finite bound, or +Inf if any connection is
+// unbounded.
+func (r *Result) MaxBound() float64 {
+	m := 0.0
+	for _, b := range r.Bounds {
+		if math.IsInf(b, 1) {
+			return b
+		}
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Analyzer computes end-to-end delay bounds for every connection of a
+// network.
+type Analyzer interface {
+	Name() string
+	Analyze(net *topo.Network) (*Result, error)
+}
+
+// allInf builds a Result marking every connection unbounded, used when the
+// network fails the stability precondition.
+func allInf(name string, net *topo.Network) *Result {
+	r := &Result{Algorithm: name}
+	r.Bounds = make([]float64, len(net.Connections))
+	r.Stages = make([][]Stage, len(net.Connections))
+	for i := range r.Bounds {
+		r.Bounds[i] = math.Inf(1)
+	}
+	return r
+}
+
+// propagation tracks, while servers are consumed in topological order, each
+// connection's accumulated delay and its traffic envelope at the entrance
+// of its next unprocessed hop.
+type propagation struct {
+	env     []minplus.Curve
+	delay   []float64
+	next    []int // index into Connection.Path of the next unprocessed hop
+	stage   [][]Stage
+	backlog []float64 // per-server buffer bound, filled as servers are seen
+}
+
+func newPropagation(net *topo.Network) *propagation {
+	p := &propagation{
+		env:     make([]minplus.Curve, len(net.Connections)),
+		delay:   make([]float64, len(net.Connections)),
+		next:    make([]int, len(net.Connections)),
+		stage:   make([][]Stage, len(net.Connections)),
+		backlog: make([]float64, len(net.Servers)),
+	}
+	for i, c := range net.Connections {
+		p.env[i] = c.SourceEnvelope()
+	}
+	return p
+}
+
+// advance records that connection c crossed nHops hops with delay bound d.
+// It reports false when d is infinite, in which case no finite envelope can
+// be propagated and the caller must abandon the analysis (the whole result
+// degrades to +Inf, since downstream cross-traffic envelopes would be
+// unknown).
+func (p *propagation) advance(c int, servers []int, d float64, nHops int) bool {
+	if math.IsInf(d, 1) {
+		return false
+	}
+	p.delay[c] += d
+	p.env[c] = minplus.ShiftLeft(p.env[c], d)
+	p.next[c] += nHops
+	p.stage[c] = append(p.stage[c], Stage{Servers: servers, Delay: d})
+	return true
+}
+
+// result packages the accumulated state.
+func (p *propagation) result(name string) *Result {
+	return &Result{Algorithm: name, Bounds: p.delay, Stages: p.stage, Backlogs: p.backlog}
+}
+
+// recordBacklog stores the buffer bound of server s computed from its
+// aggregate input envelope: the vertical deviation from the service line,
+// valid for every work-conserving discipline.
+func (p *propagation) recordBacklog(s int, agg minplus.Curve, capacity float64) {
+	b := minplus.VerticalDeviation(agg, minplus.Rate(capacity))
+	if b < 0 {
+		b = 0
+	}
+	p.backlog[s] = b
+}
+
+// fifoLocalDelay returns the worst-case delay of a FIFO server with
+// capacity c and fixed latency lat whose aggregate input is bounded by g.
+func fifoLocalDelay(g minplus.Curve, capacity, lat float64) float64 {
+	d := minplus.HorizontalDeviation(g, minplus.Rate(capacity))
+	return d + lat
+}
+
+// checkAnalyzable verifies the preconditions shared by all analyzers.
+func checkAnalyzable(net *topo.Network) error {
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("analysis: %w", err)
+	}
+	return nil
+}
+
+// normalizeNetwork rescales all bit-valued quantities (capacities, bucket
+// parameters, access and reserved rates) by the largest server capacity,
+// returning the rescaled network and the scale factor. Delay bounds are
+// invariant under this rescaling — a delay is bits divided by
+// bits-per-second, and both scale together — but the piecewise-linear
+// curve arithmetic becomes well-conditioned: raw bits-per-second
+// magnitudes (1e8 and up) would otherwise amplify floating-point noise in
+// breakpoint coordinates past the comparison tolerances. Bit-valued
+// results (backlog bounds) must be multiplied back by the returned scale;
+// see denormalizeBacklogs. The input network is not modified.
+func normalizeNetwork(net *topo.Network) (*topo.Network, float64) {
+	scale := 0.0
+	for _, s := range net.Servers {
+		if s.Capacity > scale {
+			scale = s.Capacity
+		}
+	}
+	if scale == 0 || (scale >= 0.5 && scale <= 2) {
+		return net, 1
+	}
+	out := &topo.Network{
+		Servers:     make([]server.Server, len(net.Servers)),
+		Connections: make([]topo.Connection, len(net.Connections)),
+	}
+	copy(out.Servers, net.Servers)
+	copy(out.Connections, net.Connections)
+	for i := range out.Servers {
+		out.Servers[i].Capacity /= scale
+	}
+	for i := range out.Connections {
+		c := &out.Connections[i]
+		c.Bucket.Sigma /= scale
+		c.Bucket.Rho /= scale
+		c.AccessRate /= scale
+		c.Rate /= scale
+		if c.Envelope != nil {
+			scaled := minplus.ScaleY(*c.Envelope, 1/scale)
+			c.Envelope = &scaled
+		}
+	}
+	return out, scale
+}
+
+// denormalizeBacklogs converts a result's backlog bounds back to the
+// caller's bit units after an analysis on a normalized network.
+func denormalizeBacklogs(r *Result, scale float64) *Result {
+	if scale != 1 {
+		for i := range r.Backlogs {
+			r.Backlogs[i] *= scale
+		}
+	}
+	return r
+}
+
+// parallelMin evaluates f(0..n-1) across the available cores and returns
+// the minimum. Used for the embarrassingly parallel theta enumerations;
+// the result is deterministic because min is order-independent.
+func parallelMin(n int, f func(int) float64) float64 {
+	if n == 0 {
+		return math.Inf(1)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if v := f(i); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+	)
+	best := math.Inf(1)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			local := math.Inf(1)
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					break
+				}
+				if v := f(i); v < local {
+					local = v
+				}
+			}
+			mu.Lock()
+			if local < best {
+				best = local
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return best
+}

@@ -1,0 +1,54 @@
+package analysis
+
+// This file carries closed-form delay expressions derived by hand for the
+// simplest configurations of the paper's evaluation topology. They are
+// deliberately computed WITHOUT the curve algebra, so the tests that
+// compare them against the analyzers cross-check the implementation
+// through an independent route. The first formula coincides with the one
+// per-hop expression that survived the OCR of the paper's Section 4.2
+// (E_1 = 2*sigma/(1-rho) at unit capacity), confirming that our reading of
+// the topology matches the authors'.
+
+// SingleFIFOFreshDelay returns the worst-case FIFO delay of k identical
+// (sigma, rho) sources, each rate-limited by an access line of the
+// server's own capacity C, sharing that server: the backlog peaks at the
+// common knee t* = sigma/(C-rho) where each flow has contributed C*t*,
+// giving
+//
+//	d = (k-1) * sigma / (C - rho).
+//
+// Requires k*rho < C for stability.
+func SingleFIFOFreshDelay(k int, sigma, rho, capacity float64) float64 {
+	return float64(k-1) * sigma / (capacity - rho)
+}
+
+// TandemFirstHopDelay returns the local delay at the first server of the
+// paper's tandem, which carries three fresh connections (connection 0,
+// a_0, b_0):
+//
+//	E_1 = 2 * sigma / (C - rho),
+//
+// the k = 3 case of SingleFIFOFreshDelay and exactly the paper's E_1.
+func TandemFirstHopDelay(sigma, rho, capacity float64) float64 {
+	return SingleFIFOFreshDelay(3, sigma, rho, capacity)
+}
+
+// TandemSecondHopDelay returns the decomposed local delay at the second
+// server of the paper's tandem (n >= 3 so that b_1 continues), carrying
+// two fresh connections (a_1, b_1) and two connections deformed by the
+// first hop's delay d0 (connection 0, b_0).
+//
+// Derivation: after a shift of d0 = 2*sigma/(C-rho), a capped token bucket
+// is in bucket mode for every interval length (d0 exceeds the knee
+// sigma/(C-rho)), so the shifted envelopes are sigma + rho*d0 + rho*I.
+// The aggregate minus the service line then increases up to the fresh
+// flows' knee t* = sigma/(C-rho) (slope 2*rho + C > 0) and decreases
+// afterwards (slope 4*rho - C < 0 for rho < C/4, which the topology
+// guarantees), so the supremum sits at t*:
+//
+//	E_2 = [ 2*sigma + 2*rho*d0 + (2*rho + C)*t* ] / C.
+func TandemSecondHopDelay(sigma, rho, capacity float64) float64 {
+	d0 := TandemFirstHopDelay(sigma, rho, capacity)
+	knee := sigma / (capacity - rho)
+	return (2*sigma + 2*rho*d0 + (2*rho+capacity)*knee) / capacity
+}

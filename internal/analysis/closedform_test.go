@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"delaycalc/internal/topo"
+)
+
+func TestClosedFormSingleServer(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		for _, rho := range []float64{0.05, 0.1, 0.2} {
+			net := singleServerNet(k, 1.5, rho, 1)
+			res, err := (Decomposed{}).Analyze(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := SingleFIFOFreshDelay(k, 1.5, rho, 1)
+			if math.Abs(res.Bound(0)-want) > 1e-9 {
+				t.Errorf("k=%d rho=%g: analyzer %g vs closed form %g", k, rho, res.Bound(0), want)
+			}
+		}
+	}
+}
+
+func TestClosedFormTandemFirstTwoHops(t *testing.T) {
+	for _, u := range []float64{0.2, 0.4, 0.6, 0.8, 0.95} {
+		net, err := topo.PaperTandem(5, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := (Decomposed{}).Analyze(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho := u / 4
+		wantE1 := TandemFirstHopDelay(1, rho, 1)
+		wantE2 := TandemSecondHopDelay(1, rho, 1)
+		gotE1 := res.Stages[0][0].Delay
+		gotE2 := res.Stages[0][1].Delay
+		if math.Abs(gotE1-wantE1) > 1e-9 {
+			t.Errorf("U=%g: E1 analyzer %g vs closed form %g", u, gotE1, wantE1)
+		}
+		if math.Abs(gotE2-wantE2) > 1e-9 {
+			t.Errorf("U=%g: E2 analyzer %g vs closed form %g", u, gotE2, wantE2)
+		}
+	}
+}
+
+func TestClosedFormMatchesPaperUnitFormula(t *testing.T) {
+	// The paper's surviving formula: E_1 = 2*sigma/(1-rho) at C = 1.
+	for _, rho := range []float64{0.1, 0.2} {
+		if got, want := TandemFirstHopDelay(1, rho, 1), 2/(1-rho); math.Abs(got-want) > 1e-12 {
+			t.Errorf("rho=%g: E1 = %g, want %g", rho, got, want)
+		}
+	}
+}
+
+func TestClosedFormScalesWithCapacity(t *testing.T) {
+	// Doubling capacity and all rates/bursts leaves delays unchanged;
+	// doubling only capacity halves-ish them (sanity directions).
+	base := TandemSecondHopDelay(1, 0.1, 1)
+	scaled := TandemSecondHopDelay(2, 0.2, 2)
+	if math.Abs(base-scaled) > 1e-12 {
+		t.Errorf("joint scaling changed the delay: %g vs %g", base, scaled)
+	}
+	faster := TandemSecondHopDelay(1, 0.1, 2)
+	if faster >= base {
+		t.Errorf("doubling capacity did not reduce the delay: %g vs %g", faster, base)
+	}
+}

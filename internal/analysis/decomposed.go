@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"fmt"
+
+	"delaycalc/internal/minplus"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// Decomposed implements the classical decomposition-based end-to-end
+// analysis of Cruz ("A calculus for network delay", parts I and II), the
+// paper's Algorithm Decomposed: servers are analyzed one at a time in
+// topological order; at each FIFO server the local worst-case delay is the
+// horizontal deviation between the aggregate input envelope and the
+// service line; every transiting connection's envelope is then deformed by
+// that local delay (b'(I) = b(I + d)), and a connection's end-to-end bound
+// is the sum of the local delays along its route.
+//
+// The method is simple and fully general for feedforward networks, but it
+// charges every connection the worst-case delay at every hop, which the
+// integrated analysis avoids.
+type Decomposed struct{}
+
+// Name implements Analyzer.
+func (Decomposed) Name() string { return "Decomposed" }
+
+// Analyze implements Analyzer.
+func (Decomposed) Analyze(net *topo.Network) (*Result, error) {
+	if err := checkAnalyzable(net); err != nil {
+		return nil, err
+	}
+	net, scale := normalizeNetwork(net)
+	p, _, finite, err := decomposedPass(net)
+	if err != nil {
+		return nil, err
+	}
+	if !finite {
+		return allInf("Decomposed", net), nil
+	}
+	return denormalizeBacklogs(p.result("Decomposed"), scale), nil
+}
+
+// decomposedPass runs the decomposition propagation over the whole network
+// and additionally records every connection's traffic envelope at the entry
+// of each of its hops (used by the service-curve analyzer to characterize
+// cross traffic inside the network). finite is false when some stage delay
+// is unbounded, in which case the other return values are meaningless.
+func decomposedPass(net *topo.Network) (p *propagation, perHopEnv [][]minplus.Curve, finite bool, err error) {
+	if !net.Stable() {
+		return nil, nil, false, nil
+	}
+	order, err := net.TopologicalOrder()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	p = newPropagation(net)
+	perHopEnv = make([][]minplus.Curve, len(net.Connections))
+	for i, c := range net.Connections {
+		perHopEnv[i] = make([]minplus.Curve, len(c.Path))
+	}
+	record := func(conns []int) {
+		for _, c := range conns {
+			perHopEnv[c][p.next[c]] = p.env[c]
+		}
+	}
+	for _, s := range order {
+		srv := net.Servers[s]
+		conns := net.ConnectionsAt(s)
+		if len(conns) == 0 {
+			continue
+		}
+		record(conns)
+		var envs []minplus.Curve
+		for _, c := range conns {
+			envs = append(envs, p.env[c])
+		}
+		p.recordBacklog(s, minplus.Sum(envs...), srv.Capacity)
+		switch srv.Discipline {
+		case server.FIFO:
+			d := fifoLocalDelay(minplus.Sum(envs...), srv.Capacity, srv.Latency)
+			for _, c := range conns {
+				if !p.advance(c, []int{s}, d, 1) {
+					return nil, nil, false, nil
+				}
+			}
+		case server.StaticPriority:
+			delays := spLocalDelays(net, s, conns, p)
+			for i, c := range conns {
+				if !p.advance(c, []int{s}, delays[i], 1) {
+					return nil, nil, false, nil
+				}
+			}
+		case server.GuaranteedRate:
+			for _, c := range conns {
+				beta, gerr := grServiceCurve(net, s, c)
+				if gerr != nil {
+					return nil, nil, false, gerr
+				}
+				dc := minplus.HorizontalDeviation(p.env[c], beta)
+				if !p.advance(c, []int{s}, dc, 1) {
+					return nil, nil, false, nil
+				}
+			}
+		case server.EDF:
+			delays, eerr := edfLocalDelays(net, s, conns, p)
+			if eerr != nil {
+				return nil, nil, false, eerr
+			}
+			for i, c := range conns {
+				if !p.advance(c, []int{s}, delays[i], 1) {
+					return nil, nil, false, nil
+				}
+			}
+		default:
+			return nil, nil, false, fmt.Errorf("analysis: unsupported discipline %v at server %d", srv.Discipline, s)
+		}
+	}
+	return p, perHopEnv, true, nil
+}

@@ -1,0 +1,633 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"delaycalc/internal/minplus"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// Integrated implements the paper's Algorithm Integrated (Figure 2):
+//
+//  1. Partition the network into subnetworks — the paper uses at most two
+//     servers per subnetwork; this implementation generalizes to chains of
+//     up to ChainLength consecutive servers, realizing the extension the
+//     paper's conclusion announces.
+//  2. Order the subnetworks topologically, so every subnetwork's input
+//     traffic is characterized before the subnetwork is analyzed.
+//  3. For each subnetwork, compute the delay bounds of the connections
+//     inside it — jointly for every sub-aggregate that traverses several
+//     consecutive servers — and the envelopes of its output traffic.
+//  4. Sum the per-subnetwork delays along each connection's route.
+//
+// The multi-server bound realizes the paper's Theorem 1 idea — the delay
+// dependency between consecutive FIFO servers means through traffic cannot
+// pay every local worst case in full — with the provably sound FIFO
+// residual service-curve family (see FIFOResidual): each server s of a run
+// offers the run's through-aggregate the curve beta_theta_s against the
+// local cross traffic, the run offers their min-plus convolution, and
+//
+//	d_run = min_{theta vector} h( A, beta_theta_1 (x) ... (x) beta_theta_k )
+//
+// bounds the delay of every through bit ("pay bursts only once" across the
+// run). The published closed form of Theorem 1 lives in an unavailable
+// technical report; the naive reading of Lemmas 1-4 on the all-greedy
+// scenario (kept as GreedyPairEstimate for comparison) is not a sound
+// bound — packet-level simulation exhibits arrival alignments that exceed
+// it — so this implementation uses the residual-curve formulation, every
+// member of which is a proven service curve. Every run bound is clamped by
+// the decomposed sum of its local FIFO delays, which is always valid.
+type Integrated struct {
+	// ChainLength is the maximum number of consecutive servers grouped
+	// into one subnetwork. 0 and 2 reproduce the paper (pairs); larger
+	// values trade analysis time for tighter bounds; 1 degenerates to
+	// plain decomposition.
+	ChainLength int
+	// MaxPairRate, when set, requires a grouping's through-aggregate rate
+	// to exceed the threshold (an ablation knob; zero keeps every viable
+	// grouping).
+	MaxPairRate float64
+	// DisablePairing turns the analysis into plain decomposition
+	// (equivalent to ChainLength 1; kept as an explicit ablation knob).
+	DisablePairing bool
+	// DeconvPropagation refines the envelope a connection carries out of
+	// a multi-server run: in addition to the paper's burstiness shift
+	// b(I + d_run), the connection's own per-flow residual service curve
+	// over the run is deconvolved out of its entry envelope, and the
+	// pointwise minimum of the two (both valid envelopes) propagates.
+	// An ablation knob for the propagation rule; costs one residual
+	// convolution and deconvolution per multi-hop connection per chain.
+	DeconvPropagation bool
+}
+
+// Name implements Analyzer.
+func (a Integrated) Name() string { return "Integrated" }
+
+// chainLength resolves the effective maximum subnetwork size.
+func (a Integrated) chainLength() int {
+	switch {
+	case a.DisablePairing:
+		return 1
+	case a.ChainLength <= 0:
+		return 2
+	default:
+		return a.ChainLength
+	}
+}
+
+// subnetwork is one element of the partition: a chain of consecutive
+// servers (singletons have length 1).
+type subnetwork struct {
+	servers []int
+}
+
+// Analyze implements Analyzer.
+func (a Integrated) Analyze(net *topo.Network) (*Result, error) {
+	if err := checkAnalyzable(net); err != nil {
+		return nil, err
+	}
+	net, scale := normalizeNetwork(net)
+	for i, s := range net.Servers {
+		if s.Discipline != server.FIFO {
+			return nil, fmt.Errorf("analysis: Integrated applies to FIFO networks; server %d is %v", i, s.Discipline)
+		}
+	}
+	if !net.Stable() {
+		return allInf("Integrated", net), nil
+	}
+	subnets, err := a.partition(net)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := orderSubnetworks(net, subnets)
+	if err != nil {
+		return nil, err
+	}
+	p := newPropagation(net)
+	for _, sn := range ordered {
+		if ok := analyzeChain(net, sn.servers, p, a.DeconvPropagation); !ok {
+			return allInf("Integrated", net), nil
+		}
+	}
+	return denormalizeBacklogs(p.result("Integrated"), scale), nil
+}
+
+// partition greedily grows chains of consecutive servers (in topological
+// order), extending each chain toward the successor carrying the largest
+// through rate, subject to the extension not creating a cycle among
+// subnetworks and not containing a reversed traversal. Servers that cannot
+// be grouped become singletons, exactly as the paper's Step 1 allows.
+func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
+	order, err := net.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	maxLen := a.chainLength()
+	used := make(map[int]bool, len(net.Servers))
+	var subnets []subnetwork
+	for _, u := range order {
+		if used[u] {
+			continue
+		}
+		chain := []int{u}
+		used[u] = true
+		for len(chain) < maxLen {
+			tail := chain[len(chain)-1]
+			next := a.bestSuccessor(net, tail, used)
+			if next < 0 {
+				break
+			}
+			trial := append(append([]int(nil), chain...), next)
+			if !extensionValid(net, subnets, order, trial) {
+				break
+			}
+			chain = trial
+			used[next] = true
+		}
+		subnets = append(subnets, subnetwork{servers: chain})
+	}
+	return subnets, nil
+}
+
+// bestSuccessor picks the unused direct successor of tail with the largest
+// through-traffic rate above the ablation threshold, or -1.
+func (a Integrated) bestSuccessor(net *topo.Network, tail int, used map[int]bool) int {
+	through := make(map[int]float64)
+	for _, c := range net.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			if c.Path[i] == tail && !used[c.Path[i+1]] {
+				through[c.Path[i+1]] += c.Bucket.Rho
+			}
+		}
+	}
+	best, bestRate := -1, a.MaxPairRate
+	keys := make([]int, 0, len(through))
+	for v := range through {
+		keys = append(keys, v)
+	}
+	sort.Ints(keys)
+	for _, v := range keys {
+		if through[v] > bestRate {
+			best, bestRate = v, through[v]
+		}
+	}
+	return best
+}
+
+// extensionValid checks that adding the trial chain to the committed
+// partition keeps it acyclic and free of reversed intra-chain traversals.
+// Servers not yet assigned are treated as singletons for the test.
+func extensionValid(net *topo.Network, committed []subnetwork, order []int, trial []int) bool {
+	pos := make(map[int]int, len(trial))
+	for i, s := range trial {
+		pos[s] = i
+	}
+	for _, c := range net.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			pu, okU := pos[c.Path[i]]
+			pv, okV := pos[c.Path[i+1]]
+			if okU && okV && pv < pu {
+				return false
+			}
+		}
+	}
+	probe := append([]subnetwork(nil), committed...)
+	probe = append(probe, subnetwork{servers: trial})
+	seen := make(map[int]bool)
+	for _, sn := range probe {
+		for _, s := range sn.servers {
+			seen[s] = true
+		}
+	}
+	for _, s := range order {
+		if !seen[s] {
+			probe = append(probe, subnetwork{servers: []int{s}})
+		}
+	}
+	_, err := orderSubnetworks(net, probe)
+	return err == nil
+}
+
+// orderSubnetworks topologically sorts the partition by the precedence
+// relation "some connection leaves subnetwork A and enters subnetwork B".
+// An error means the partition induces a cycle.
+func orderSubnetworks(net *topo.Network, subnets []subnetwork) ([]subnetwork, error) {
+	owner := make(map[int]int, len(net.Servers))
+	for i, sn := range subnets {
+		for _, s := range sn.servers {
+			owner[s] = i
+		}
+	}
+	adj := make(map[int]map[int]bool)
+	for _, c := range net.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			a, b := owner[c.Path[i]], owner[c.Path[i+1]]
+			if a == b {
+				continue
+			}
+			if adj[a] == nil {
+				adj[a] = make(map[int]bool)
+			}
+			adj[a][b] = true
+		}
+	}
+	indeg := make([]int, len(subnets))
+	for _, outs := range adj {
+		for v := range outs {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for i := range subnets {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	var order []subnetwork
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, subnets[u])
+		var next []int
+		for v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				next = append(next, v)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+		sort.Ints(ready)
+	}
+	if len(order) != len(subnets) {
+		return nil, fmt.Errorf("analysis: subnetwork partition induces a cycle")
+	}
+	return order, nil
+}
+
+// run is a maximal consecutive interval of chain positions traversed by a
+// group of connections: the unit of joint analysis inside a chain.
+type run struct {
+	lo, hi int // inclusive chain positions
+	conns  []int
+}
+
+// analyzeChain performs the integrated analysis on one chain of servers.
+//
+// Within the chain, connections sharing the same maximal interval of
+// consecutive chain servers form one FIFO sub-aggregate (a "run"): the
+// paper's S12 with S1/S2 generalizes to one run per distinct interval.
+// Every run of length one gets the exact local FIFO bound against the full
+// aggregate at its server; every longer run gets the residual-convolution
+// bound against its cross traffic, clamped by the decomposed sum. Cross
+// envelopes at interior servers are the run-entry envelopes deformed by
+// the local FIFO delays accumulated so far — a valid (decomposed-style)
+// intra-chain characterization.
+func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) bool {
+	pos := make(map[int]int, len(chain))
+	for i, s := range chain {
+		pos[s] = i
+	}
+	// Group connections into runs.
+	runIndex := map[[2]int]*run{}
+	var runs []*run
+	seen := map[int]bool{}
+	for _, s := range chain {
+		for _, c := range net.ConnectionsAt(s) {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			path := net.Connections[c].Path
+			h := p.next[c] // subnet topological order guarantees path[h] is in this chain
+			lo := pos[path[h]]
+			hi := lo
+			for k := h + 1; k < len(path); k++ {
+				q, ok := pos[path[k]]
+				if !ok || q != hi+1 {
+					break
+				}
+				hi = q
+			}
+			key := [2]int{lo, hi}
+			r, ok := runIndex[key]
+			if !ok {
+				r = &run{lo: lo, hi: hi}
+				runIndex[key] = r
+				runs = append(runs, r)
+			}
+			r.conns = append(r.conns, c)
+		}
+	}
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].lo != runs[j].lo {
+			return runs[i].lo < runs[j].lo
+		}
+		return runs[i].hi < runs[j].hi
+	})
+
+	// Delay per run: dynamic program over segmentations of the run's
+	// interval. For every subinterval [i, j] the bound B[i][j] applies to
+	// the aggregate of ALL connections whose chain interval covers
+	// [i, j] — FIFO serves the aggregate as one flow, so its bound holds
+	// for every member — and a run may split its interval wherever that
+	// is cheaper:
+	//
+	//	D[i][j] = min( B[i][j], min_m D[i][m] + D[m+1][j] ).
+	//
+	// Single positions use the exact local FIFO bound (B[i][i] =
+	// local[i], since every connection at a server is part of the full
+	// aggregate there). This subsumes the paper's pair analysis (the
+	// segmentation into pairs is one of the candidates) and extends it to
+	// longer chains.
+	//
+	// Intra-chain envelopes are a fixpoint problem: cross envelopes at
+	// interior positions depend on upstream delay bounds, which depend on
+	// cross envelopes. Iterate from the decomposed (local-shift)
+	// propagation and re-propagate with the DP prefix bounds: every
+	// iterate deforms envelopes by proven delay bounds, so every
+	// iteration is sound, and later iterations only tighten.
+	prefix := map[int][]float64{} // conn -> shift at each position of its run
+	var bounds *intervalBounds
+	// For chains of length <= 2 the DP prefix equals the local delay, so
+	// one pass suffices; longer chains benefit from re-propagation.
+	iters := 1
+	if len(chain) > 2 {
+		iters = 3
+	}
+	for iter := 0; iter < iters; iter++ {
+		envAt := make([]map[int]minplus.Curve, len(chain)+1)
+		local := make([]float64, len(chain))
+		for i := range envAt {
+			envAt[i] = map[int]minplus.Curve{}
+		}
+		for _, r := range runs {
+			for _, c := range r.conns {
+				for i := r.lo; i <= r.hi; i++ {
+					if iter > 0 {
+						envAt[i][c] = minplus.ShiftLeft(p.env[c], prefix[c][i-r.lo])
+					} else if i == r.lo {
+						envAt[i][c] = p.env[c]
+					}
+				}
+			}
+		}
+		for i := range chain {
+			srv := net.Servers[chain[i]]
+			agg := sumSorted(envAt[i])
+			local[i] = fifoLocalDelay(agg, srv.Capacity, srv.Latency)
+			if math.IsInf(local[i], 1) {
+				return false
+			}
+			if iter == iters-1 {
+				p.recordBacklog(chain[i], agg, srv.Capacity)
+			}
+			if iter == 0 {
+				// Initial decomposed-style propagation.
+				for _, r := range runs {
+					if r.lo <= i && i < r.hi {
+						for _, c := range r.conns {
+							envAt[i+1][c] = minplus.ShiftLeft(envAt[i][c], local[i])
+						}
+					}
+				}
+			}
+		}
+		bounds = newIntervalBounds(net, chain, runs, envAt, local)
+		// Record the DP prefix bounds as the next iteration's shifts.
+		for _, r := range runs {
+			for _, c := range r.conns {
+				shifts := make([]float64, r.hi-r.lo+1)
+				for i := r.lo + 1; i <= r.hi; i++ {
+					shifts[i-r.lo] = bounds.best(r.lo, i-1)
+				}
+				prefix[c] = shifts
+			}
+		}
+	}
+	for _, r := range runs {
+		servers := make([]int, 0, r.hi-r.lo+1)
+		for i := r.lo; i <= r.hi; i++ {
+			servers = append(servers, chain[i])
+		}
+		d := bounds.best(r.lo, r.hi)
+		for _, c := range r.conns {
+			entry := p.env[c]
+			if !p.advance(c, servers, d, len(servers)) {
+				return false
+			}
+			if deconv && r.hi > r.lo {
+				refined := deconvOutput(net, chain, r, c, entry, bounds)
+				if refined != nil {
+					p.env[c] = minplus.Min(p.env[c], *refined)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// deconvOutput computes the per-flow deconvolution envelope of connection
+// c leaving its run: c alone receives the theta = 0 residual against ALL
+// other traffic at each run server (a valid per-flow service curve), their
+// convolution is a valid end-to-end service curve for c over the run, and
+// the deconvolution of c's entry envelope out of it is a valid output
+// envelope. Returns nil when the residual leaves c no guaranteed rate.
+func deconvOutput(net *topo.Network, chain []int, r *run, c int, entry minplus.Curve, ib *intervalBounds) *minplus.Curve {
+	beta := minplus.Curve{}
+	for i := r.lo; i <= r.hi; i++ {
+		crossCurves := make(map[int]minplus.Curve)
+		for o, e := range ib.envAt[i] {
+			if o != c {
+				crossCurves[o] = e
+			}
+		}
+		res := FIFOResidual(net.Servers[chain[i]].Capacity, sumSorted(crossCurves), 0)
+		if i == r.lo {
+			beta = res
+		} else {
+			beta = minplus.Convolve(beta, res)
+		}
+	}
+	if beta.FinalSlope() <= entry.FinalSlope() {
+		return nil // no spare rate: deconvolution would diverge
+	}
+	out, err := minplus.Deconvolve(entry, beta)
+	if err != nil {
+		return nil
+	}
+	return &out
+}
+
+// intervalBounds lazily computes and memoizes the direct bound B[i][j] and
+// the segmented optimum D[i][j] for chain intervals.
+type intervalBounds struct {
+	net    *topo.Network
+	chain  []int
+	runs   []*run
+	envAt  []map[int]minplus.Curve
+	local  []float64
+	direct map[[2]int]float64
+	opt    map[[2]int]float64
+}
+
+func newIntervalBounds(net *topo.Network, chain []int, runs []*run, envAt []map[int]minplus.Curve, local []float64) *intervalBounds {
+	return &intervalBounds{
+		net: net, chain: chain, runs: runs, envAt: envAt, local: local,
+		direct: map[[2]int]float64{},
+		opt:    map[[2]int]float64{},
+	}
+}
+
+// best returns D[lo][hi], the cheapest bound for traversing chain
+// positions lo..hi as part of a covering aggregate.
+func (ib *intervalBounds) best(lo, hi int) float64 {
+	key := [2]int{lo, hi}
+	if d, ok := ib.opt[key]; ok {
+		return d
+	}
+	d := ib.directBound(lo, hi)
+	for m := lo; m < hi; m++ {
+		if split := ib.best(lo, m) + ib.best(m+1, hi); split < d {
+			d = split
+		}
+	}
+	ib.opt[key] = d
+	return d
+}
+
+// directBound returns B[lo][hi]: the residual-convolution bound for the
+// aggregate of all connections whose interval covers [lo, hi] (the local
+// FIFO bound when lo == hi).
+func (ib *intervalBounds) directBound(lo, hi int) float64 {
+	if lo == hi {
+		return ib.local[lo]
+	}
+	key := [2]int{lo, hi}
+	if d, ok := ib.direct[key]; ok {
+		return d
+	}
+	covering := map[int]bool{}
+	for _, r := range ib.runs {
+		if r.lo <= lo && hi <= r.hi {
+			for _, c := range r.conns {
+				covering[c] = true
+			}
+		}
+	}
+	d := runIntervalBound(ib.net, ib.chain, lo, hi, covering, ib.envAt, ib.local)
+	ib.direct[key] = d
+	return d
+}
+
+// sumSorted adds the map's curves in deterministic (key-sorted) order so
+// results do not depend on map iteration.
+func sumSorted(m map[int]minplus.Curve) minplus.Curve {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	acc := minplus.Zero()
+	for _, k := range keys {
+		acc = minplus.Add(acc, m[k])
+	}
+	return acc
+}
+
+// runIntervalBound computes the joint bound of a multi-server interval for
+// a given aggregate: the horizontal deviation between the aggregate's
+// entry envelope and the min-plus convolution of the per-server FIFO
+// residual curves against the local cross traffic, minimized over the
+// theta parameters (full enumeration for two servers, coordinate descent
+// for longer intervals — every evaluation is a valid bound, so any search
+// strategy is sound), clamped by the decomposed sum of local delays.
+func runIntervalBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, envAt []map[int]minplus.Curve, local []float64) float64 {
+	entry := make(map[int]minplus.Curve, len(inAgg))
+	for c := range inAgg {
+		entry[c] = envAt[lo][c]
+	}
+	agg := sumSorted(entry)
+
+	k := hi - lo + 1
+	cross := make([]minplus.Curve, k)
+	caps := make([]float64, k)
+	cands := make([][]float64, k)
+	lat := 0.0
+	decomposedSum := 0.0
+	for i := 0; i < k; i++ {
+		posIdx := lo + i
+		srv := net.Servers[chain[posIdx]]
+		caps[i] = srv.Capacity
+		lat += srv.Latency
+		decomposedSum += local[posIdx]
+		crossCurves := make(map[int]minplus.Curve)
+		for c, e := range envAt[posIdx] {
+			if !inAgg[c] {
+				crossCurves[c] = e
+			}
+		}
+		cross[i] = sumSorted(crossCurves)
+		cands[i] = thetaCandidates(caps[i], cross[i], local[posIdx])
+	}
+
+	evalAt := func(thetas []float64) float64 {
+		beta := FIFOResidual(caps[0], cross[0], thetas[0])
+		for i := 1; i < k; i++ {
+			beta = minplus.Convolve(beta, FIFOResidual(caps[i], cross[i], thetas[i]))
+		}
+		return minplus.HorizontalDeviation(agg, beta)
+	}
+
+	best := math.Inf(1)
+	if k == 2 {
+		// Full enumeration, as in the paper's two-multiplexor analysis.
+		// The evaluations are independent, so fan them out across the
+		// available cores; the minimum is order-independent.
+		type pair struct{ t0, t1 float64 }
+		var jobs []pair
+		for _, t0 := range cands[0] {
+			for _, t1 := range cands[1] {
+				jobs = append(jobs, pair{t0, t1})
+			}
+		}
+		best = parallelMin(len(jobs), func(i int) float64 {
+			return evalAt([]float64{jobs[i].t0, jobs[i].t1})
+		})
+	} else {
+		// Coordinate descent from the all-zero vector; every iterate is a
+		// sound bound, so early termination cannot break soundness.
+		thetas := make([]float64, k)
+		best = evalAt(thetas)
+		for pass := 0; pass < 3; pass++ {
+			improved := false
+			for i := 0; i < k; i++ {
+				bestHere := thetas[i]
+				for _, cand := range cands[i] {
+					if cand == bestHere {
+						continue
+					}
+					thetas[i] = cand
+					if d := evalAt(thetas); d < best {
+						best = d
+						bestHere = cand
+						improved = true
+					}
+				}
+				thetas[i] = bestHere
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	best += lat
+	if decomposedSum < best {
+		best = decomposedSum
+	}
+	return best
+}

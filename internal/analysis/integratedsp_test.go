@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+	"delaycalc/internal/traffic"
+)
+
+func spTandem(n int, load float64) *topo.Network {
+	net, err := topo.Tandem(topo.TandemSpec{
+		Switches: n, Sigma: 1, Rho: load / 4, Capacity: 1,
+		Discipline: server.StaticPriority,
+		// Connection 0 is the LOW-priority class here: that is where the
+		// integrated pairing has something to improve (the urgent class
+		// already gets near-zero bounds).
+		Priority0: 1, PriorityCross: 0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+func TestIntegratedSPNeverWorseThanDecomposed(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		for _, u := range []float64{0.3, 0.6, 0.9} {
+			net := spTandem(n, u)
+			ri, err := (IntegratedSP{}).Analyze(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd, err := (Decomposed{}).Analyze(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range net.Connections {
+				if ri.Bound(i) > rd.Bound(i)+1e-9 {
+					t.Errorf("n=%d U=%g conn %d: integratedSP %g > SP decomposed %g",
+						n, u, i, ri.Bound(i), rd.Bound(i))
+				}
+				if math.IsInf(ri.Bound(i), 1) || ri.Bound(i) < 0 {
+					t.Errorf("n=%d U=%g conn %d: bad bound %g", n, u, i, ri.Bound(i))
+				}
+			}
+		}
+	}
+}
+
+func TestIntegratedSPImprovesLowPriorityThroughTraffic(t *testing.T) {
+	net := spTandem(6, 0.7)
+	ri, err := (IntegratedSP{}).Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := (Decomposed{}).Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Bound(0) >= rd.Bound(0) {
+		t.Errorf("integratedSP %g not better than decomposed %g for the multi-hop low-priority connection",
+			ri.Bound(0), rd.Bound(0))
+	}
+}
+
+func TestIntegratedSPMatchesFIFOWhenOneClass(t *testing.T) {
+	// With every connection in the same class, static priority IS FIFO,
+	// and IntegratedSP's bounds should be close to Integrated's (the
+	// rate-latency minorant of the full service line is the line itself).
+	net, err := topo.Tandem(topo.TandemSpec{
+		Switches: 4, Sigma: 1, Rho: 0.15, Capacity: 1,
+		Discipline: server.StaticPriority,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsp, err := (IntegratedSP{}).Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifoNet, err := topo.Tandem(topo.TandemSpec{
+		Switches: 4, Sigma: 1, Rho: 0.15, Capacity: 1,
+		Discipline: server.FIFO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfifo, err := (Integrated{}).Analyze(fifoNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Connections {
+		if math.Abs(rsp.Bound(i)-rfifo.Bound(i)) > 1e-6 {
+			t.Errorf("conn %d: single-class SP %g != FIFO %g", i, rsp.Bound(i), rfifo.Bound(i))
+		}
+	}
+}
+
+func TestIntegratedSPRejectsNonSP(t *testing.T) {
+	net := &topo.Network{
+		Servers: []server.Server{{Capacity: 1, Discipline: server.FIFO}},
+		Connections: []topo.Connection{
+			{Bucket: traffic.TokenBucket{Sigma: 1, Rho: 0.2}, Path: []int{0}},
+		},
+	}
+	if _, err := (IntegratedSP{}).Analyze(net); err == nil {
+		t.Fatal("expected discipline error")
+	}
+}
+
+func TestIntegratedSPUnstable(t *testing.T) {
+	net := spTandem(2, 0.7)
+	for i := range net.Connections {
+		net.Connections[i].Bucket.Rho = 0.3 // 4 connections per link: 120% load
+	}
+	res, err := (IntegratedSP{}).Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Bound(0), 1) {
+		t.Errorf("unstable: bound %g, want +Inf", res.Bound(0))
+	}
+}
+
+func TestIntegratedSPUrgentClassTiny(t *testing.T) {
+	// The urgent class must keep near-trivial bounds regardless of the
+	// bulk class's load.
+	net, err := topo.Tandem(topo.TandemSpec{
+		Switches: 3, Sigma: 1, Rho: 0.2, Capacity: 1,
+		Discipline: server.StaticPriority, Priority0: 0, PriorityCross: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (IntegratedSP{}).Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connection 0 is alone in the urgent class: essentially zero delay.
+	if res.Bound(0) > 1e-6 {
+		t.Errorf("urgent lone connection bound %g, want ~0", res.Bound(0))
+	}
+}

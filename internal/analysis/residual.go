@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"math"
+
+	"delaycalc/internal/minplus"
+)
+
+// FIFOResidual returns the theta-parameterized FIFO residual service curve
+//
+//	beta_theta(t) = [C*t - alphaCross(t - theta)]^+  for t > theta,  0 otherwise,
+//
+// which a FIFO multiplexor of capacity C provably offers to a flow (or
+// sub-aggregate) whose competing traffic is bounded by alphaCross, for
+// every theta >= 0 (Cruz's induced FIFO curves; Proposition 6.2.1 in
+// Le Boudec & Thiran). Small theta emphasizes rate, large theta emphasizes
+// latency; every member of the family yields a sound bound, so optimizing
+// over a finite candidate set of thetas is always safe.
+func FIFOResidual(capacity float64, alphaCross minplus.Curve, theta float64) minplus.Curve {
+	raw := minplus.PositivePart(minplus.Sub(minplus.Rate(capacity), minplus.Delay(alphaCross, theta)))
+	if !raw.IsNonDecreasing() {
+		raw = minplus.MonotoneClosure(raw)
+	}
+	return minplus.ZeroUntil(raw, theta)
+}
+
+// thetaCandidates proposes a finite set of theta parameters for the
+// residual family at a server of the given capacity with the given cross
+// envelope: structural values derived from the cross curve's breakpoints
+// (where the optimum of piecewise-linear problems lives) plus a geometric
+// sweep up to the server's busy-period scale.
+func thetaCandidates(capacity float64, cross minplus.Curve, scale float64) []float64 {
+	set := map[float64]bool{0: true}
+	add := func(v float64) {
+		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			set[v] = true
+		}
+	}
+	for _, p := range cross.Points() {
+		add(p.X)
+		add(p.Y / capacity)
+	}
+	// Burst-clearing time of the cross traffic at full capacity.
+	add(cross.EvalRight(0) / capacity)
+	if scale > 0 {
+		for k := 1; k <= 8; k++ {
+			add(scale * float64(k) / 8)
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"sort"
+
+	"delaycalc/internal/minplus"
+	"delaycalc/internal/topo"
+)
+
+// spLocalDelays computes per-connection local delay bounds at a
+// static-priority server: each priority class receives the leftover
+// service curve
+//
+//	beta_p(t) = [C*t - sum_{q with higher priority} G_q(t)]^+ ,
+//
+// which is exact for a preemptive-priority fluid server, and the class is
+// served FIFO internally, so the class delay is the horizontal deviation
+// between the class aggregate envelope and beta_p. This is the
+// decomposition-style static-priority analysis of Cruz and of the authors'
+// earlier RTSS'97 work, which the paper names as the basis of its announced
+// static-priority extension. The returned slice is indexed like conns.
+func spLocalDelays(net *topo.Network, s int, conns []int, p *propagation) []float64 {
+	srv := net.Servers[s]
+	// Group connections by priority class (lower value = more urgent).
+	classes := make(map[int][]int)
+	for _, c := range conns {
+		classes[net.Connections[c].Priority] = append(classes[net.Connections[c].Priority], c)
+	}
+	prios := make([]int, 0, len(classes))
+	for q := range classes {
+		prios = append(prios, q)
+	}
+	sort.Ints(prios)
+
+	delays := make(map[int]float64, len(classes))
+	higher := minplus.Zero()
+	for _, q := range prios {
+		var classEnvs []minplus.Curve
+		for _, c := range classes[q] {
+			classEnvs = append(classEnvs, p.env[c])
+		}
+		classAgg := minplus.Sum(classEnvs...)
+		beta := minplus.PositivePart(minplus.Sub(minplus.Rate(srv.Capacity), higher))
+		delays[q] = minplus.HorizontalDeviation(classAgg, beta) + srv.Latency
+		higher = minplus.Add(higher, classAgg)
+	}
+	out := make([]float64, len(conns))
+	for i, c := range conns {
+		out[i] = delays[net.Connections[c].Priority]
+	}
+	return out
+}

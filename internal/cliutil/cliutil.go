@@ -1,0 +1,51 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: loading a network from a spec file or a builder flag, and
+// resolving analyzer names.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/netspec"
+	"delaycalc/internal/topo"
+)
+
+// LoadNetwork builds a network from either a JSON spec path or the paper's
+// tandem parameters. Exactly one of specPath / tandem must be given.
+func LoadNetwork(specPath string, tandem int, load float64) (*topo.Network, error) {
+	switch {
+	case specPath != "" && tandem > 0:
+		return nil, fmt.Errorf("use either -spec or -tandem, not both")
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return netspec.Decode(data)
+	case tandem > 0:
+		return topo.PaperTandem(tandem, load)
+	default:
+		return nil, fmt.Errorf("provide -spec FILE or -tandem N (see -h)")
+	}
+}
+
+// PickAnalyzer resolves a user-facing algorithm name.
+func PickAnalyzer(name string) (analysis.Analyzer, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "integrated", "int":
+		return analysis.Integrated{}, nil
+	case "decomposed", "dec":
+		return analysis.Decomposed{}, nil
+	case "servicecurve", "sc":
+		return analysis.ServiceCurve{}, nil
+	case "gr", "guaranteedrate":
+		return analysis.GuaranteedRateNetworkCurve{}, nil
+	case "integratedsp", "sp":
+		return analysis.IntegratedSP{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want integrated, decomposed, servicecurve, gr or integratedsp)", name)
+	}
+}

@@ -1,0 +1,75 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadNetworkTandem(t *testing.T) {
+	net, err := LoadNetwork("", 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Servers) != 3 || len(net.Connections) != 7 {
+		t.Errorf("unexpected tandem: %d servers, %d connections", len(net.Servers), len(net.Connections))
+	}
+}
+
+func TestLoadNetworkSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	doc := `{"servers":[{"name":"a","capacity":1}],"connections":[{"name":"c","sigma":1,"rho":0.1,"path":["a"]}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, err := LoadNetwork(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Servers) != 1 || net.Connections[0].Name != "c" {
+		t.Errorf("unexpected spec network: %+v", net)
+	}
+}
+
+func TestLoadNetworkErrors(t *testing.T) {
+	if _, err := LoadNetwork("", 0, 0); err == nil {
+		t.Error("expected error for no inputs")
+	}
+	if _, err := LoadNetwork("x.json", 3, 0.5); err == nil {
+		t.Error("expected error for both inputs")
+	}
+	if _, err := LoadNetwork(filepath.Join(t.TempDir(), "missing.json"), 0, 0); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestPickAnalyzer(t *testing.T) {
+	cases := map[string]string{
+		"integrated":   "Integrated",
+		"INT":          "Integrated",
+		"decomposed":   "Decomposed",
+		"dec":          "Decomposed",
+		"servicecurve": "ServiceCurve",
+		"sc":           "ServiceCurve",
+		"gr":           "GuaranteedRate/NetworkServiceCurve",
+		"integratedsp": "IntegratedSP",
+		" Integrated ": "Integrated",
+	}
+	for in, want := range cases {
+		a, err := PickAnalyzer(in)
+		if err != nil {
+			t.Errorf("PickAnalyzer(%q): %v", in, err)
+			continue
+		}
+		if a.Name() != want {
+			t.Errorf("PickAnalyzer(%q) = %s, want %s", in, a.Name(), want)
+		}
+	}
+	if _, err := PickAnalyzer("fifo"); err == nil {
+		t.Error("expected error for unknown analyzer name")
+	}
+	if _, err := PickAnalyzer(""); err == nil {
+		t.Error("expected error for unknown analyzer name")
+	}
+}

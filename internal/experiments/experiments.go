@@ -1,0 +1,178 @@
+// Package experiments regenerates the paper's evaluation (Section 4):
+// every figure's series on the tandem network of n 3x3 switches, plus the
+// supporting experiments listed in DESIGN.md. Each generator returns plain
+// series data; cmd/figures and the benchmarks render them.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/textplot"
+	"delaycalc/internal/topo"
+)
+
+// DefaultLoads is the workload sweep used by all figures: interior-link
+// utilizations from 10% to 95%.
+var DefaultLoads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}
+
+// Figure holds the reproduced series of one paper figure: the end-to-end
+// delay curves (top panel) and the relative improvement curves (bottom
+// panel).
+type Figure struct {
+	Name        string
+	Delays      []textplot.Series
+	Improvement []textplot.Series
+}
+
+// RelativeImprovement is the paper's metric R_{X,Y}(U) = (D_X - D_Y)/D_X:
+// the fraction by which method Y improves on method X.
+func RelativeImprovement(dx, dy float64) float64 {
+	if dx == 0 {
+		return 0
+	}
+	return (dx - dy) / dx
+}
+
+// conn0Bound analyzes the paper tandem and returns the bound of
+// Connection 0 (the connection traveling the longest path, the one the
+// paper reports).
+func conn0Bound(a analysis.Analyzer, n int, load float64) (float64, error) {
+	net, err := topo.PaperTandem(n, load)
+	if err != nil {
+		return 0, err
+	}
+	res, err := a.Analyze(net)
+	if err != nil {
+		return 0, err
+	}
+	return res.Bound(0), nil
+}
+
+// sweep evaluates an analyzer over the load range for one network size.
+// The loads are independent, so they are analyzed concurrently across the
+// available cores; results keep the input order.
+func sweep(a analysis.Analyzer, n int, loads []float64) (textplot.Series, error) {
+	s := textplot.Series{Name: fmt.Sprintf("%s(%d)", a.Name(), n)}
+	ys := make([]float64, len(loads))
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, u := range loads {
+		wg.Add(1)
+		go func(i int, u float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ys[i], errs[i] = conn0Bound(a, n, u)
+		}(i, u)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return s, err
+		}
+	}
+	s.X = append(s.X, loads...)
+	s.Y = append(s.Y, ys...)
+	return s, nil
+}
+
+// twoMethodFigure builds a figure comparing methods x and y over the given
+// network sizes: delay curves for both and R_{X,Y} per size.
+func twoMethodFigure(name string, x, y analysis.Analyzer, sizes []int, loads []float64) (*Figure, error) {
+	fig := &Figure{Name: name}
+	for _, n := range sizes {
+		sx, err := sweep(x, n, loads)
+		if err != nil {
+			return nil, err
+		}
+		sy, err := sweep(y, n, loads)
+		if err != nil {
+			return nil, err
+		}
+		fig.Delays = append(fig.Delays, sx, sy)
+		imp := textplot.Series{Name: fmt.Sprintf("%s/%s(%d)", x.Name(), y.Name(), n)}
+		for i := range sx.X {
+			imp.X = append(imp.X, sx.X[i])
+			imp.Y = append(imp.Y, RelativeImprovement(sx.Y[i], sy.Y[i]))
+		}
+		fig.Improvement = append(fig.Improvement, imp)
+	}
+	return fig, nil
+}
+
+// Figure4 reproduces the paper's Figure 4: Decomposed versus ServiceCurve
+// end-to-end delays for Connection 0 on tandems of 2, 4, 6 and 8 switches,
+// plus the relative improvement R_{Decomposed,ServiceCurve}.
+func Figure4(loads []float64) (*Figure, error) {
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	return twoMethodFigure("Figure 4: Decomposed vs Service Curve",
+		analysis.Decomposed{}, analysis.ServiceCurve{}, []int{2, 4, 6, 8}, loads)
+}
+
+// Figure5 reproduces the paper's Figure 5: Integrated versus Decomposed
+// for tandems of 2, 4 and 8 switches (the sizes the paper plots), with the
+// relative improvement R_{Decomposed,Integrated}.
+func Figure5(loads []float64) (*Figure, error) {
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	return twoMethodFigure("Figure 5: Integrated vs Decomposed",
+		analysis.Decomposed{}, analysis.Integrated{}, []int{2, 4, 8}, loads)
+}
+
+// Figure6 reproduces the paper's Figure 6: Integrated versus ServiceCurve
+// for tandems of 2, 4, 6 and 8 switches, with the relative improvement
+// R_{ServiceCurve,Integrated}.
+func Figure6(loads []float64) (*Figure, error) {
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	return twoMethodFigure("Figure 6: Integrated vs Service Curve",
+		analysis.ServiceCurve{}, analysis.Integrated{}, []int{2, 4, 6, 8}, loads)
+}
+
+// BurstinessSweep checks the paper's Section 4.1 claim that increasing the
+// source burstiness (sigma) raises absolute delays but leaves the relative
+// improvements essentially unchanged. It returns, per sigma, the relative
+// improvement of Integrated over Decomposed for connection 0.
+func BurstinessSweep(n int, load float64, sigmas []float64) (textplot.Series, textplot.Series, error) {
+	imp := textplot.Series{Name: fmt.Sprintf("R(Decomposed,Integrated) n=%d U=%g", n, load)}
+	abs := textplot.Series{Name: fmt.Sprintf("Decomposed delay n=%d U=%g", n, load)}
+	for _, sigma := range sigmas {
+		net, err := topo.Tandem(topo.TandemSpec{
+			Switches: n, Sigma: sigma, Rho: load / 4, Capacity: 1,
+		})
+		if err != nil {
+			return imp, abs, err
+		}
+		rd, err := (analysis.Decomposed{}).Analyze(net)
+		if err != nil {
+			return imp, abs, err
+		}
+		ri, err := (analysis.Integrated{}).Analyze(net)
+		if err != nil {
+			return imp, abs, err
+		}
+		imp.X = append(imp.X, sigma)
+		imp.Y = append(imp.Y, RelativeImprovement(rd.Bound(0), ri.Bound(0)))
+		abs.X = append(abs.X, sigma)
+		abs.Y = append(abs.Y, rd.Bound(0))
+	}
+	return imp, abs, nil
+}
+
+// Render pretty-prints a figure: a log-scale delay chart, an improvement
+// chart, and the underlying tables.
+func Render(fig *Figure) string {
+	out := textplot.PlotLog(fig.Name+" — end-to-end delay of connection 0 vs load", fig.Delays, 64, 18)
+	out += "\n" + textplot.Table(fig.Delays)
+	out += "\n" + textplot.Plot(fig.Name+" — relative improvement vs load", fig.Improvement, 64, 14)
+	out += "\n" + textplot.Table(fig.Improvement)
+	return out
+}

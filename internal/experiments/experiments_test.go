@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+var quickLoads = []float64{0.2, 0.5, 0.8}
+
+func TestFigure4Shape(t *testing.T) {
+	fig, err := Figure4(quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Delays) != 8 || len(fig.Improvement) != 4 {
+		t.Fatalf("series counts: %d delays, %d improvements", len(fig.Delays), len(fig.Improvement))
+	}
+	// Paper claim: at high load the service-curve method is worse than
+	// decomposition (negative improvement of SC over D means D wins).
+	for _, imp := range fig.Improvement {
+		last := imp.Y[len(imp.Y)-1]
+		if last > 0 {
+			t.Errorf("%s: at U=0.8 the service-curve method should not beat decomposition (R=%g)", imp.Name, last)
+		}
+	}
+	// All delays finite and increasing in load.
+	for _, s := range fig.Delays {
+		for i := range s.Y {
+			if math.IsInf(s.Y[i], 0) || s.Y[i] <= 0 {
+				t.Errorf("%s: bad delay %g at U=%g", s.Name, s.Y[i], s.X[i])
+			}
+			if i > 0 && s.Y[i] <= s.Y[i-1] {
+				t.Errorf("%s: delay not increasing in load", s.Name)
+			}
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	fig, err := Figure5(quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claim: Integrated always outperforms Decomposed, and for loads
+	// up to 80% the improvement grows with network size.
+	for _, imp := range fig.Improvement {
+		for i, r := range imp.Y {
+			if r <= 0 {
+				t.Errorf("%s: improvement %g at U=%g, want positive", imp.Name, r, imp.X[i])
+			}
+		}
+	}
+	for i := range quickLoads {
+		prev := -1.0
+		for _, imp := range fig.Improvement { // ordered n = 2, 4, 8
+			if imp.Y[i] <= prev {
+				t.Errorf("improvement at U=%g did not grow with size: %g after %g",
+					quickLoads[i], imp.Y[i], prev)
+			}
+			prev = imp.Y[i]
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	fig, err := Figure6(quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper claim: Integrated significantly outperforms ServiceCurve.
+	for _, imp := range fig.Improvement {
+		for i, r := range imp.Y {
+			if r <= 0.1 {
+				t.Errorf("%s: improvement %g at U=%g, want clearly positive", imp.Name, r, imp.X[i])
+			}
+		}
+	}
+}
+
+func TestRelativeImprovement(t *testing.T) {
+	if got := RelativeImprovement(10, 5); got != 0.5 {
+		t.Errorf("R(10,5) = %g", got)
+	}
+	if got := RelativeImprovement(0, 5); got != 0 {
+		t.Errorf("R(0,5) = %g", got)
+	}
+	if got := RelativeImprovement(5, 10); got != -1 {
+		t.Errorf("R(5,10) = %g", got)
+	}
+}
+
+func TestBurstinessSweepInvariance(t *testing.T) {
+	// Paper Section 4.1: larger sigma raises absolute delays but barely
+	// moves the relative improvement.
+	imp, abs, err := BurstinessSweep(4, 0.6, []float64{0.5, 1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(abs.Y); i++ {
+		if abs.Y[i] <= abs.Y[i-1] {
+			t.Errorf("absolute delay did not grow with sigma: %v", abs.Y)
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range imp.Y {
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	if hi-lo > 0.02 {
+		t.Errorf("relative improvement varies with sigma beyond tolerance: spread %g (%v)", hi-lo, imp.Y)
+	}
+}
+
+func TestValidationSweepSoundness(t *testing.T) {
+	series, err := ValidationSweep(3, quickLoads, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simS := series[0]
+	for _, bound := range series[1:] {
+		for i := range simS.Y {
+			if simS.Y[i] > bound.Y[i]+0.1 {
+				t.Errorf("%s at U=%g: simulated %g exceeds bound %g",
+					bound.Name, simS.X[i], simS.Y[i], bound.Y[i])
+			}
+		}
+	}
+}
+
+func TestAblationPairing(t *testing.T) {
+	series, err := AblationPairing(4, quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paired, single := series[0], series[1]
+	for i := range paired.Y {
+		if paired.Y[i] >= single.Y[i] {
+			t.Errorf("U=%g: pairing did not help (%g vs %g)", paired.X[i], paired.Y[i], single.Y[i])
+		}
+	}
+}
+
+func TestGreedyGapOrdering(t *testing.T) {
+	series, err := GreedyGap([]float64{0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated, est, sound := series[0], series[1], series[2]
+	for i := range simulated.Y {
+		// The sound bound must dominate the simulation; the greedy
+		// estimate need not (that is the point of the experiment).
+		if simulated.Y[i] > sound.Y[i]+0.1 {
+			t.Errorf("U=%g: simulation %g above sound bound %g", simulated.X[i], simulated.Y[i], sound.Y[i])
+		}
+		if est.Y[i] > sound.Y[i]+1e-9 {
+			t.Errorf("U=%g: greedy estimate %g above sound bound %g", est.X[i], est.Y[i], sound.Y[i])
+		}
+	}
+}
+
+func TestGuaranteedRateComparison(t *testing.T) {
+	series, err := GuaranteedRateComparison(4, quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netCurve, decomposed := series[0], series[1]
+	for i := range netCurve.Y {
+		if netCurve.Y[i] >= decomposed.Y[i] {
+			t.Errorf("U=%g: network curve %g should beat GR decomposition %g",
+				netCurve.X[i], netCurve.Y[i], decomposed.Y[i])
+		}
+	}
+}
+
+func TestStaticPriorityExperiment(t *testing.T) {
+	series, err := StaticPriorityExperiment(4, quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, integ, fifo := series[0], series[1], series[2]
+	for i := range dec.Y {
+		if integ.Y[i] > dec.Y[i]+1e-9 {
+			t.Errorf("U=%g: integrated SP %g worse than decomposed SP %g",
+				integ.X[i], integ.Y[i], dec.Y[i])
+		}
+		// The bulk class under SP pays for urgent isolation: worse than
+		// FIFO at equal load.
+		if dec.Y[i] <= fifo.Y[i] {
+			t.Errorf("U=%g: low-priority SP %g should exceed FIFO %g", dec.X[i], dec.Y[i], fifo.Y[i])
+		}
+	}
+	// The integrated SP analysis must win strictly somewhere.
+	strict := false
+	for i := range dec.Y {
+		if integ.Y[i] < dec.Y[i]-1e-9 {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("integrated SP never strictly better than decomposed SP")
+	}
+}
+
+func TestRenderContainsPanels(t *testing.T) {
+	fig, err := Figure5([]float64{0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(fig)
+	for _, want := range []string{"end-to-end delay", "relative improvement", "Integrated(2)", "Decomposed(2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestEDFExperiment(t *testing.T) {
+	series, err := EDFExperiment(4, quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urgent, cross, fifo := series[0], series[1], series[2]
+	for i := range urgent.Y {
+		if urgent.Y[i] >= fifo.Y[i] {
+			t.Errorf("U=%g: urgent EDF bound %g should beat FIFO %g", urgent.X[i], urgent.Y[i], fifo.Y[i])
+		}
+		if cross.Y[i] <= urgent.Y[i] {
+			t.Errorf("U=%g: relaxed cross bound %g should exceed urgent %g", cross.X[i], cross.Y[i], urgent.Y[i])
+		}
+	}
+}
+
+func TestChainLengthSweep(t *testing.T) {
+	series, err := ChainLengthSweep(6, quickLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, pairs, full := series[0], series[1], series[2]
+	for i := range dec.Y {
+		if pairs.Y[i] >= dec.Y[i] {
+			t.Errorf("U=%g: pairs %g not better than decomposed %g", pairs.X[i], pairs.Y[i], dec.Y[i])
+		}
+		// The fixpoint propagation converges to (at least) the pairs
+		// partition up to a small residue at low loads, and wins clearly
+		// at high load (checked below).
+		if full.Y[i] > pairs.Y[i]*1.001 {
+			t.Errorf("U=%g: full chain %g materially worse than pairs %g", full.X[i], full.Y[i], pairs.Y[i])
+		}
+	}
+	last := len(full.Y) - 1
+	if full.Y[last] >= pairs.Y[last]*0.99 {
+		t.Errorf("at U=%g the full chain %g should clearly beat pairs %g",
+			full.X[last], full.Y[last], pairs.Y[last])
+	}
+}
+
+func TestAdmissionCapacity(t *testing.T) {
+	series, err := AdmissionCapacity(4, []float64{8, 14, 25}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, sc, integ := series[0], series[1], series[2]
+	for i := range dec.Y {
+		if integ.Y[i] < dec.Y[i] {
+			t.Errorf("deadline %g: integrated admits %g < decomposed %g",
+				integ.X[i], integ.Y[i], dec.Y[i])
+		}
+		if sc.Y[i] < 0 {
+			t.Errorf("negative count %g", sc.Y[i])
+		}
+	}
+	// Looser deadlines admit at least as many connections.
+	for _, s := range series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("%s: capacity not monotone in deadline: %v", s.Name, s.Y)
+			}
+		}
+	}
+	// Somewhere the integrated analysis must admit strictly more.
+	strict := false
+	for i := range dec.Y {
+		if integ.Y[i] > dec.Y[i] {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("integrated never admitted strictly more than decomposed")
+	}
+}

@@ -1,0 +1,96 @@
+package minplus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchCurves builds a deterministic set of moderately complex curves.
+func benchCurves(n int) []Curve {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]Curve, n)
+	for i := range out {
+		out[i] = genCurve(rng)
+	}
+	return out
+}
+
+func BenchmarkConvolve(b *testing.B) {
+	cs := benchCurves(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convolve(cs[i%16], cs[(i+7)%16])
+	}
+}
+
+func BenchmarkConvolveSampled(b *testing.B) {
+	f := TokenBucketCapped(3, 0.25, 1)
+	g := RateLatency(0.8, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvolveSampled(f, g, 0.1, 30)
+	}
+}
+
+func BenchmarkDeconvolve(b *testing.B) {
+	f := TokenBucketCapped(3, 0.25, 1)
+	g := RateLatency(0.8, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Deconvolve(f, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	cs := benchCurves(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(cs[i%16], cs[(i+5)%16])
+	}
+}
+
+func BenchmarkMin(b *testing.B) {
+	cs := benchCurves(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Min(cs[i%16], cs[(i+3)%16])
+	}
+}
+
+func BenchmarkHorizontalDeviation(b *testing.B) {
+	alpha := Sum(TokenBucketCapped(2, 0.3, 1), TokenBucket(1, 0.1))
+	beta := RateLatency(0.9, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HorizontalDeviation(alpha, beta)
+	}
+}
+
+func BenchmarkLowerInverse(b *testing.B) {
+	f := Sum(TokenBucketCapped(2, 0.3, 1), TokenBucketCapped(1, 0.2, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LowerInverse(f)
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	f := Sum(TokenBucketCapped(2, 0.3, 1), TokenBucketCapped(1, 0.2, 1))
+	g := Convolve(minRateCurve(), f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compose(f, g)
+	}
+}
+
+func minRateCurve() Curve { return Rate(1) }
+
+func BenchmarkEval(b *testing.B) {
+	f := Sum(TokenBucketCapped(2, 0.3, 1), TokenBucketCapped(1, 0.2, 1), TokenBucket(1, 0.05))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Eval(float64(i % 40))
+	}
+}

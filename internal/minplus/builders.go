@@ -1,0 +1,180 @@
+package minplus
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zero returns the identically-zero curve.
+func Zero() Curve { return New([]Point{{0, 0}}, 0) }
+
+// Constant returns the constant curve f(t) = v.
+func Constant(v float64) Curve { return New([]Point{{0, v}}, 0) }
+
+// Affine returns f(t) = b + r*t.
+func Affine(r, b float64) Curve { return New([]Point{{0, b}}, r) }
+
+// Rate returns the service line f(t) = c*t of a constant-rate server.
+func Rate(c float64) Curve {
+	if c < 0 {
+		panic("minplus: Rate with negative capacity")
+	}
+	return Affine(c, 0)
+}
+
+// Identity returns f(t) = t.
+func Identity() Curve { return Affine(1, 0) }
+
+// TokenBucket returns the arrival curve of a (sigma, rho) token bucket:
+// f(0) = 0 and f(t) = sigma + rho*t for t > 0. The burst appears as a jump
+// at the origin.
+func TokenBucket(sigma, rho float64) Curve {
+	if sigma < 0 || rho < 0 {
+		panic(fmt.Sprintf("minplus: TokenBucket(%g, %g) with negative parameter", sigma, rho))
+	}
+	if sigma == 0 {
+		return Affine(rho, 0)
+	}
+	return New([]Point{{0, 0}, {0, sigma}}, rho)
+}
+
+// TokenBucketCapped returns min{c*t, sigma + rho*t}: a (sigma, rho) token
+// bucket emitted through an access link of capacity c, as used for the
+// source traffic in the paper's evaluation (continuous, concave). Requires
+// rho <= c.
+func TokenBucketCapped(sigma, rho, c float64) Curve {
+	if sigma < 0 || rho < 0 || c <= 0 {
+		panic(fmt.Sprintf("minplus: TokenBucketCapped(%g, %g, %g) with invalid parameter", sigma, rho, c))
+	}
+	if rho > c+Eps {
+		panic(fmt.Sprintf("minplus: TokenBucketCapped rate %g exceeds capacity %g", rho, c))
+	}
+	if sigma == 0 || almostEqual(rho, c) {
+		return Affine(math.Min(rho, c), 0)
+	}
+	x := sigma / (c - rho) // c*x == sigma + rho*x
+	return New([]Point{{0, 0}, {x, c * x}}, rho)
+}
+
+// RateLatency returns the service curve beta_{r,T}(t) = r * max(0, t-T) of
+// a guaranteed-rate (latency-rate) server.
+func RateLatency(r, t float64) Curve {
+	if r < 0 || t < 0 {
+		panic(fmt.Sprintf("minplus: RateLatency(%g, %g) with negative parameter", r, t))
+	}
+	if t == 0 {
+		return Affine(r, 0)
+	}
+	return New([]Point{{0, 0}, {t, 0}}, r)
+}
+
+// Step returns the curve that is 0 for t <= at and h afterwards.
+func Step(h, at float64) Curve {
+	if at < 0 {
+		panic("minplus: Step at negative time")
+	}
+	if at == 0 {
+		return TokenBucket(h, 0)
+	}
+	return New([]Point{{0, 0}, {at, 0}, {at, h}}, 0)
+}
+
+// Delay returns the curve shifted right by d: h(t) = f(t-d) for t > d and
+// h(t) = f(0) for t <= d. Used to delay service curves and arrival
+// envelopes. Requires d >= 0.
+func Delay(f Curve, d float64) Curve {
+	f.mustValid()
+	if d < 0 {
+		panic("minplus: Delay by negative amount")
+	}
+	if d == 0 {
+		return f
+	}
+	pts := make([]Point, 0, len(f.pts)+1)
+	pts = append(pts, Point{0, f.pts[0].Y})
+	for _, p := range f.pts {
+		pts = append(pts, Point{p.X + d, p.Y})
+	}
+	return New(pts, f.slope)
+}
+
+// ShiftLeft returns h(t) = f(t+d) on [0, inf). Requires d >= 0.
+func ShiftLeft(f Curve, d float64) Curve {
+	f.mustValid()
+	if d < 0 {
+		panic("minplus: ShiftLeft by negative amount")
+	}
+	if d == 0 {
+		return f
+	}
+	pts := []Point{{0, f.Eval(d)}}
+	if r := f.EvalRight(d); !almostEqual(r, pts[0].Y) {
+		pts = append(pts, Point{0, r})
+	}
+	for _, p := range f.pts {
+		if p.X > d && !almostEqual(p.X, d) {
+			pts = append(pts, Point{p.X - d, p.Y})
+		}
+	}
+	return New(pts, f.slope)
+}
+
+// VShift returns f + v (vertical shift by a constant, possibly negative).
+func VShift(f Curve, v float64) Curve {
+	f.mustValid()
+	pts := make([]Point, len(f.pts))
+	for i, p := range f.pts {
+		pts[i] = Point{p.X, p.Y + v}
+	}
+	return New(pts, f.slope)
+}
+
+// ScaleY returns k * f. Requires k >= 0 to preserve monotonicity contracts.
+func ScaleY(f Curve, k float64) Curve {
+	f.mustValid()
+	if k < 0 {
+		panic("minplus: ScaleY with negative factor")
+	}
+	pts := make([]Point, len(f.pts))
+	for i, p := range f.pts {
+		pts[i] = Point{p.X, k * p.Y}
+	}
+	return New(pts, k*f.slope)
+}
+
+// ScaleX returns h(t) = f(t/k), stretching the time axis by k > 0.
+func ScaleX(f Curve, k float64) Curve {
+	f.mustValid()
+	if k <= 0 {
+		panic("minplus: ScaleX with non-positive factor")
+	}
+	pts := make([]Point, len(f.pts))
+	for i, p := range f.pts {
+		pts[i] = Point{k * p.X, p.Y}
+	}
+	return New(pts, f.slope/k)
+}
+
+// ZeroUntil returns the curve that is identically zero on [0, at] and
+// follows f afterwards (with a jump at `at` if f(at+) > 0). It gates
+// service curves such as the FIFO residual family, which guarantee nothing
+// before their parameter. f must be non-negative beyond at.
+func ZeroUntil(f Curve, at float64) Curve {
+	f.mustValid()
+	if at < 0 {
+		panic("minplus: ZeroUntil at negative time")
+	}
+	if at == 0 {
+		return f
+	}
+	pts := []Point{{0, 0}, {at, 0}}
+	if r := f.EvalRight(at); r > 0 {
+		pts = append(pts, Point{at, r})
+	}
+	for _, p := range f.pts {
+		if p.X > at && !almostEqual(p.X, at) {
+			pts = append(pts, p)
+		}
+	}
+	return New(pts, f.slope)
+}

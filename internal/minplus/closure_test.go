@@ -1,0 +1,128 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonotoneClosureIdentityOnMonotone(t *testing.T) {
+	f := TokenBucketCapped(2, 0.5, 1)
+	if !MonotoneClosure(f).Equal(f) {
+		t.Error("closure of a non-decreasing curve must be itself")
+	}
+}
+
+func TestMonotoneClosureDip(t *testing.T) {
+	// Rise to 5 at x=1, dip to 2 at x=2, rise again at slope 1.
+	f := New([]Point{{0, 0}, {1, 5}, {2, 2}}, 1)
+	c := MonotoneClosure(f)
+	if !c.IsNonDecreasing() {
+		t.Fatalf("closure not monotone: %v", c)
+	}
+	// inf over [t, inf): before the dip the closure is capped at 2 once f
+	// rises past it (f reaches 2 at x = 0.4), flat at 2 through the dip,
+	// then follows f.
+	cases := []struct{ x, want float64 }{
+		{0.2, 1},   // f still below the future min
+		{0.8, 2},   // capped by the dip
+		{1.5, 2},   // inside the descent
+		{2.5, 2.5}, // following f again
+		{5, 5},
+	}
+	for _, tc := range cases {
+		if got := c.Eval(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("closure(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	// Never above the original.
+	for i := 0; i <= 100; i++ {
+		x := 6 * float64(i) / 100
+		if c.Eval(x) > f.Eval(x)+1e-9 {
+			t.Errorf("closure above original at %g", x)
+		}
+	}
+}
+
+func TestMonotoneClosureIsGreatestMinorant(t *testing.T) {
+	f := New([]Point{{0, 3}, {1, 1}, {3, 4}}, 0.5)
+	c := MonotoneClosure(f)
+	// Exactness: c(t) == inf_{s >= t} f(s) on a grid.
+	for i := 0; i <= 120; i++ {
+		x := 5 * float64(i) / 120
+		inf := math.Inf(1)
+		cands := []float64{x}
+		for j := 0; j <= 400; j++ {
+			cands = append(cands, x+8*float64(j)/400)
+		}
+		// The true infimum can sit exactly at a breakpoint the grid
+		// misses.
+		for _, p := range f.Points() {
+			if p.X >= x {
+				cands = append(cands, p.X)
+			}
+		}
+		for _, s := range cands {
+			if v := f.Eval(s); v < inf {
+				inf = v
+			}
+		}
+		if math.Abs(c.Eval(x)-inf) > 1e-6 {
+			t.Fatalf("closure(%g) = %g, brute inf %g", x, c.Eval(x), inf)
+		}
+	}
+}
+
+func TestMonotoneClosurePanicsOnDivergent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative final slope")
+		}
+	}()
+	MonotoneClosure(New([]Point{{0, 0}}, -1))
+}
+
+func TestZeroUntil(t *testing.T) {
+	f := Affine(2, 1) // 1 + 2t
+	g := ZeroUntil(f, 3)
+	if got := g.Eval(2); got != 0 {
+		t.Errorf("g(2) = %g, want 0", got)
+	}
+	if got := g.Eval(3); got != 0 {
+		t.Errorf("g(3) = %g, want 0 (left-continuous at the gate)", got)
+	}
+	if got, want := g.EvalRight(3), f.EvalRight(3); math.Abs(got-want) > 1e-9 {
+		t.Errorf("g(3+) = %g, want %g", got, want)
+	}
+	if got, want := g.Eval(5), f.Eval(5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("g(5) = %g, want %g", got, want)
+	}
+	if !ZeroUntil(f, 0).Equal(f) {
+		t.Error("ZeroUntil at 0 must be identity")
+	}
+}
+
+func TestZeroUntilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ZeroUntil(Zero(), -1)
+}
+
+func TestRightSlope(t *testing.T) {
+	f := New([]Point{{0, 0}, {2, 4}, {4, 4}}, 1) // slopes 2, 0, then 1
+	cases := []struct{ x, want float64 }{
+		{0, 2}, {1, 2}, {2, 0}, {3, 0}, {4, 1}, {10, 1}, {-1, 2},
+	}
+	for _, tc := range cases {
+		if got := f.RightSlope(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RightSlope(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	// Right slope just after a jump uses the post-jump segment.
+	j := Step(5, 2)
+	if got := j.RightSlope(2); got != 0 {
+		t.Errorf("RightSlope at jump = %g, want 0", got)
+	}
+}

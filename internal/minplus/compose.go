@@ -1,0 +1,46 @@
+package minplus
+
+// Compose returns h(t) = f(g(t)) for non-decreasing curves f and g. The
+// composition of left-continuous non-decreasing piecewise-linear functions
+// is again left-continuous piecewise-linear; its breakpoints occur at the
+// breakpoints of g and at the points where g crosses a breakpoint abscissa
+// of f.
+func Compose(f, g Curve) Curve {
+	f.mustValid()
+	g.mustValid()
+	if !f.IsNonDecreasing() || !g.IsNonDecreasing() {
+		panic("minplus: Compose requires non-decreasing curves")
+	}
+	ts := g.xBreaks()
+	// Preimages under g of f's breakpoint abscissas.
+	for _, x := range f.xBreaks() {
+		t := LowerInverseAtBounded(g, x)
+		if t >= 0 {
+			ts = append(ts, t)
+		}
+	}
+	eval := func(t float64) float64 { return f.Eval(g.Eval(t)) }
+	// Tail slope: once t exceeds every candidate, g is affine; if g is
+	// unbounded f is also evaluated on its affine tail.
+	var tail float64
+	if g.slope <= Eps {
+		tail = 0
+	} else {
+		tail = f.slope * g.slope
+	}
+	return fromEvaluator(ts, eval, tail)
+}
+
+// LowerInverseAtBounded is LowerInverseAt extended to bounded curves: it
+// returns -1 when y exceeds the supremum of f, instead of panicking.
+func LowerInverseAtBounded(f Curve, y float64) float64 {
+	f.mustValid()
+	if y <= f.pts[0].Y {
+		return 0
+	}
+	last := f.pts[len(f.pts)-1]
+	if f.slope <= Eps && y > last.Y && !almostEqual(y, last.Y) {
+		return -1
+	}
+	return LowerInverseAt(f, y)
+}

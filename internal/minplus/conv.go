@@ -1,0 +1,133 @@
+package minplus
+
+import "fmt"
+
+// Convolve returns the min-plus convolution
+//
+//	(f (x) g)(t) = inf_{0 <= s <= t} { f(s) + g(t-s) },
+//
+// the fundamental composition of network calculus: the output of a server
+// with service curve g fed by traffic bounded by f, or the end-to-end
+// service curve of two servers in series. Both operands must be
+// non-decreasing.
+//
+// The computation is exact. For each t the infimum of the piecewise-linear
+// function s -> f(s) + g(t-s) is attained (or approached one-sidedly) at a
+// breakpoint of f or at t minus a breakpoint of g. The convolution is
+// therefore the pointwise minimum of the finite family of "branch" curves
+//
+//	t -> f(a) + g(t-a)   for each breakpoint a of f (both one-sided values),
+//	t -> g(b) + f(t-b)   for each breakpoint b of g (both one-sided values),
+//
+// each branch extended left of its pivot by a constant, which never falls
+// below the true convolution because f and g are non-decreasing. Pointwise
+// Min with crossing detection then yields the exact envelope, including
+// breakpoints that are not sums of operand breakpoints.
+func Convolve(f, g Curve) Curve {
+	f.mustValid()
+	g.mustValid()
+	if !f.IsNonDecreasing() || !g.IsNonDecreasing() {
+		panic("minplus: Convolve requires non-decreasing curves")
+	}
+	branches := make([]Curve, 0, 2*(len(f.pts)+len(g.pts)))
+	addPivots := func(outer, inner Curve) {
+		for _, a := range outer.xBreaks() {
+			vals := []float64{outer.Eval(a)}
+			if r := outer.EvalRight(a); !almostEqual(r, vals[0]) {
+				vals = append(vals, r)
+			}
+			for _, v := range vals {
+				branches = append(branches, VShift(Delay(inner, a), v))
+			}
+		}
+	}
+	addPivots(f, g)
+	addPivots(g, f)
+	return reduceEnvelope(branches, Min)
+}
+
+// reduceEnvelope folds curves with op using a balanced reduction to keep
+// intermediate breakpoint counts low.
+func reduceEnvelope(curves []Curve, op func(Curve, Curve) Curve) Curve {
+	if len(curves) == 0 {
+		return Zero()
+	}
+	for len(curves) > 1 {
+		next := curves[:0]
+		for i := 0; i < len(curves); i += 2 {
+			if i+1 < len(curves) {
+				next = append(next, op(curves[i], curves[i+1]))
+			} else {
+				next = append(next, curves[i])
+			}
+		}
+		curves = next
+	}
+	return curves[0]
+}
+
+// Deconvolve returns the min-plus deconvolution
+//
+//	(f (/) g)(t) = sup_{s >= 0} { f(t+s) - g(s) },
+//
+// which yields the tightest arrival curve of the output of a server with
+// service curve g fed by traffic with arrival curve f. It returns an error
+// if the supremum is infinite (f grows faster than g, i.e. the server is
+// unstable for this input). Like Convolve, the result is the exact upper
+// envelope of branch curves pivoted at operand breakpoints.
+func Deconvolve(f, g Curve) (Curve, error) {
+	f.mustValid()
+	g.mustValid()
+	if !f.IsNonDecreasing() || !g.IsNonDecreasing() {
+		panic("minplus: Deconvolve requires non-decreasing curves")
+	}
+	if f.slope > g.slope+Eps {
+		return Curve{}, fmt.Errorf("minplus: deconvolution diverges: arrival slope %g exceeds service slope %g", f.slope, g.slope)
+	}
+	var branches []Curve
+	// Branches pivoted at breakpoints b of g: t -> f(t+b) - g(b).
+	for _, b := range g.xBreaks() {
+		vals := []float64{g.Eval(b)}
+		if r := g.EvalRight(b); !almostEqual(r, vals[0]) {
+			vals = append(vals, r)
+		}
+		shifted := ShiftLeft(f, b)
+		for _, v := range vals {
+			branches = append(branches, VShift(shifted, -v))
+		}
+	}
+	// Branches pivoted at breakpoints x of f: t -> f(x) - g(x-t) for
+	// t <= x, constant f(x) - g(0+) afterwards.
+	for _, x := range f.xBreaks() {
+		vals := []float64{f.Eval(x)}
+		if r := f.EvalRight(x); !almostEqual(r, vals[0]) {
+			vals = append(vals, r)
+		}
+		refl := reflectAround(g, x)
+		for _, v := range vals {
+			branches = append(branches, Sub(Constant(v), refl))
+		}
+	}
+	return reduceEnvelope(branches, Max), nil
+}
+
+// reflectAround builds h(t) = g(max(x - t, 0)) as a left-continuous curve:
+// the time-reversed tail of g hinged at x. h is non-increasing.
+func reflectAround(g Curve, x float64) Curve {
+	ts := []float64{0, x}
+	for _, y := range g.xBreaks() {
+		if d := x - y; d > 0 {
+			ts = append(ts, d)
+		}
+	}
+	eval := func(t float64) float64 {
+		arg := x - t
+		if arg < 0 {
+			arg = 0
+		}
+		// Left-continuity in t means the limit from below in t, i.e. the
+		// limit from above in the argument of g.
+		return g.EvalRight(arg)
+	}
+	return fromEvaluator(ts, eval, 0)
+}

@@ -1,0 +1,221 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+// bruteConvAt numerically approximates (f (x) g)(t) on a fine grid,
+// probing both sides of each probe point to cope with jumps. Exact
+// breakpoint positions (of f, and reflected of g) are probed in addition
+// to the grid: when both operands have a jump aligned at one split point,
+// the infimum is attained only exactly there.
+func bruteConvAt(f, g Curve, t float64) float64 {
+	const n = 2000
+	cands := make([]float64, 0, n+16)
+	for i := 0; i <= n; i++ {
+		cands = append(cands, t*float64(i)/n)
+	}
+	for _, x := range f.xBreaks() {
+		if x >= 0 && x <= t {
+			cands = append(cands, x)
+		}
+	}
+	for _, x := range g.xBreaks() {
+		if s := t - x; s >= 0 && s <= t {
+			cands = append(cands, s)
+		}
+	}
+	best := math.Inf(1)
+	for _, s := range cands {
+		v := f.Eval(s) + g.Eval(t-s)
+		if v < best {
+			best = v
+		}
+		v = f.EvalRight(s) + g.Eval(t-s)
+		if v < best {
+			best = v
+		}
+		v = f.Eval(s) + g.EvalRight(t-s)
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func convCompare(t *testing.T, f, g Curve, hi float64, label string) {
+	t.Helper()
+	c := Convolve(f, g)
+	for i := 0; i <= 40; i++ {
+		x := hi * float64(i) / 40
+		got, want := c.Eval(x), bruteConvAt(f, g, x)
+		// The brute-force infimum samples a grid and therefore never goes
+		// below the true infimum; the exact result must not exceed it.
+		if got > want+1e-6 {
+			t.Fatalf("%s: exact conv above brute-force infimum at %g: %g > %g (curve %v)", label, x, got, want, c)
+		}
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("%s: conv(%g) = %g, brute %g (curve %v)", label, x, got, want, c)
+		}
+	}
+}
+
+func TestConvolveRateWithConcave(t *testing.T) {
+	// For concave f, g through the origin, f (x) g = min(f, g).
+	f := TokenBucketCapped(2, 0.25, 1)
+	g := Rate(1)
+	c := Convolve(f, g)
+	if !c.Equal(Min(f, g)) {
+		t.Errorf("conv of concave origin curves should equal min: %v vs %v", c, Min(f, g))
+	}
+	convCompare(t, f, g, 15, "rate-concave")
+}
+
+func TestConvolveRateLatencies(t *testing.T) {
+	// RateLatency(r1,T1) (x) RateLatency(r2,T2) = RateLatency(min r, T1+T2).
+	a := RateLatency(2, 1)
+	b := RateLatency(3, 2)
+	c := Convolve(a, b)
+	want := RateLatency(2, 3)
+	if !c.Equal(want) {
+		t.Errorf("conv of rate-latencies = %v, want %v", c, want)
+	}
+	convCompare(t, a, b, 12, "rate-latency")
+}
+
+func TestConvolveTokenBucketWithRateLatency(t *testing.T) {
+	// Classic: the output envelope shape sigma + rho(t+T) appears via
+	// deconvolution, while convolution gives the "smoothed" input. Verify
+	// against brute force only.
+	f := TokenBucket(4, 0.5)
+	b := RateLatency(1, 2)
+	convCompare(t, f, b, 20, "tb-ratelatency")
+	c := Convolve(f, b)
+	// At t <= T the server may emit nothing.
+	if got := c.Eval(1.5); got != 0 {
+		t.Errorf("conv below latency = %g, want 0", got)
+	}
+	if !c.IsNonDecreasing() {
+		t.Error("convolution of non-decreasing curves must be non-decreasing")
+	}
+}
+
+func TestConvolveCommutativeAssociative(t *testing.T) {
+	a := TokenBucketCapped(3, 0.25, 1)
+	b := RateLatency(0.8, 2)
+	c := TokenBucket(1, 0.4)
+	ab, ba := Convolve(a, b), Convolve(b, a)
+	if !ab.Equal(ba) {
+		t.Errorf("convolution not commutative: %v vs %v", ab, ba)
+	}
+	left := Convolve(Convolve(a, b), c)
+	right := Convolve(a, Convolve(b, c))
+	if !left.Equal(right) {
+		t.Errorf("convolution not associative: %v vs %v", left, right)
+	}
+}
+
+func TestConvolveZeroIdentity(t *testing.T) {
+	// Convolution with the zero curve gives zero (zero is absorbing for
+	// curves through the origin).
+	f := TokenBucketCapped(2, 0.5, 1)
+	if got := Convolve(f, Zero()); !got.Equal(Zero()) {
+		t.Errorf("f (x) 0 = %v, want zero curve", got)
+	}
+	// The neutral element of min-plus convolution is delta_0 (infinite
+	// after 0); within PL curves a very steep line approximates it.
+	steep := Rate(1e9)
+	got := Convolve(f, steep)
+	for _, x := range []float64{0.5, 1, 5, 10} {
+		if math.Abs(got.Eval(x)-f.Eval(x)) > 1e-5 {
+			t.Errorf("f (x) steep at %g = %g, want ~%g", x, got.Eval(x), f.Eval(x))
+		}
+	}
+}
+
+func TestConvolveRequiresMonotone(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for decreasing operand")
+		}
+	}()
+	dec := New([]Point{{0, 5}, {1, 0}}, 0)
+	Convolve(dec, Zero())
+}
+
+func TestDeconvolveTokenBucketThroughRateLatency(t *testing.T) {
+	// Classic result: (sigma,rho) through beta_{R,T} gives arrival curve
+	// sigma + rho*(t+T) when rho <= R. At t = 0 the deconvolution equals
+	// the backlog bound sigma + rho*T (not 0), so the result is the affine
+	// curve rather than a token bucket with a jump.
+	f := TokenBucket(4, 0.5)
+	b := RateLatency(1, 2)
+	d, err := Deconvolve(f, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Affine(0.5, 4+0.5*2)
+	if !d.Equal(want) {
+		t.Errorf("deconv = %v, want %v", d, want)
+	}
+}
+
+func TestDeconvolveDiverges(t *testing.T) {
+	f := TokenBucket(1, 2)
+	b := RateLatency(1, 0) // service rate below arrival rate
+	if _, err := Deconvolve(f, b); err == nil {
+		t.Fatal("expected divergence error")
+	}
+}
+
+func TestDeconvolveBruteForce(t *testing.T) {
+	f := TokenBucketCapped(3, 0.5, 1)
+	g := RateLatency(0.8, 1.5)
+	d, err := Deconvolve(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := func(tt float64) float64 {
+		best := math.Inf(-1)
+		const n = 4000
+		hi := 40.0
+		for i := 0; i <= n; i++ {
+			s := hi * float64(i) / n
+			v := f.Eval(tt+s) - g.Eval(s)
+			if v > best {
+				best = v
+			}
+			v = f.EvalRight(tt+s) - g.EvalRight(s)
+			if v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	for i := 0; i <= 20; i++ {
+		x := 10 * float64(i) / 20
+		got, want := d.Eval(x), brute(x)
+		// The brute-force supremum never exceeds the true supremum.
+		if got < want-1e-6 {
+			t.Fatalf("deconv(%g) = %g below brute-force sup %g", x, got, want)
+		}
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("deconv(%g) = %g, brute %g", x, got, want)
+		}
+	}
+}
+
+func TestConvolveJumpyOperands(t *testing.T) {
+	f := TokenBucket(2, 1)
+	g := TokenBucket(3, 0.5)
+	convCompare(t, f, g, 12, "two-buckets")
+	c := Convolve(f, g)
+	// Conv of two token buckets: burst min(2,3)=2 at 0+, then min slope.
+	if got := c.EvalRight(0); !almostEqual(got, 2) {
+		t.Errorf("conv right of 0 = %g, want 2", got)
+	}
+	if !almostEqual(c.FinalSlope(), 0.5) {
+		t.Errorf("final slope = %g, want 0.5", c.FinalSlope())
+	}
+}

@@ -1,0 +1,176 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSupDiffBasic(t *testing.T) {
+	f := TokenBucket(4, 0.5)
+	g := Rate(1)
+	// sup of 4 + 0.5t - t attained just after 0: 4.
+	if got := SupDiff(f, g); !almostEqual(got, 4) {
+		t.Errorf("SupDiff = %g, want 4", got)
+	}
+}
+
+func TestSupDiffInfinite(t *testing.T) {
+	f := Rate(2)
+	g := Rate(1)
+	if got := SupDiff(f, g); !math.IsInf(got, 1) {
+		t.Errorf("SupDiff = %g, want +Inf", got)
+	}
+}
+
+func TestSupDiffAttainedInside(t *testing.T) {
+	// f concave, g convex: max gap at an interior breakpoint.
+	f := TokenBucketCapped(6, 0.25, 1) // knee at 8
+	g := RateLatency(0.5, 2)
+	// diff at knee t=8: 8 - 3 = ... f(8)=8, g(8)=3 -> 5; check exactness.
+	got := SupDiff(f, g)
+	brute := math.Inf(-1)
+	for i := 0; i <= 5000; i++ {
+		x := 40 * float64(i) / 5000
+		if d := f.Eval(x) - g.Eval(x); d > brute {
+			brute = d
+		}
+	}
+	if math.Abs(got-brute) > 1e-3 {
+		t.Errorf("SupDiff = %g, brute %g", got, brute)
+	}
+	if got < brute-1e-9 {
+		t.Errorf("SupDiff %g below brute-force sup %g", got, brute)
+	}
+}
+
+func TestVerticalDeviationBacklogBound(t *testing.T) {
+	// Backlog bound of (sigma, rho) through beta_{R,T}: sigma + rho*T.
+	alpha := TokenBucket(3, 0.5)
+	beta := RateLatency(1, 4)
+	want := 3 + 0.5*4
+	if got := VerticalDeviation(alpha, beta); !almostEqual(got, want) {
+		t.Errorf("backlog bound = %g, want %g", got, want)
+	}
+}
+
+func TestHorizontalDeviationDelayBound(t *testing.T) {
+	// Delay bound of (sigma, rho) through beta_{R,T}: T + sigma/R.
+	alpha := TokenBucket(3, 0.5)
+	beta := RateLatency(1, 4)
+	want := 4 + 3.0/1
+	if got := HorizontalDeviation(alpha, beta); !almostEqual(got, want) {
+		t.Errorf("delay bound = %g, want %g", got, want)
+	}
+}
+
+func TestHorizontalDeviationFIFOServer(t *testing.T) {
+	// Aggregate of token buckets through a unit-rate line: the delay is
+	// sup(G(t) - t) (vertical = horizontal against a unit-rate server).
+	g := Sum(TokenBucketCapped(1, 0.2, 1), TokenBucketCapped(1, 0.2, 1), TokenBucketCapped(1, 0.2, 1))
+	beta := Rate(1)
+	h := HorizontalDeviation(g, beta)
+	v := VerticalDeviation(g, beta)
+	if !almostEqual(h, v) {
+		t.Errorf("unit-rate server: horizontal %g != vertical %g", h, v)
+	}
+}
+
+func TestHorizontalDeviationInfinite(t *testing.T) {
+	alpha := TokenBucket(1, 2)
+	beta := Rate(1)
+	if got := HorizontalDeviation(alpha, beta); !math.IsInf(got, 1) {
+		t.Errorf("unstable server delay = %g, want +Inf", got)
+	}
+}
+
+func TestHorizontalDeviationBoundedService(t *testing.T) {
+	beta := New([]Point{{0, 0}, {5, 5}}, 0) // serves at most 5
+	small := New([]Point{{0, 0}, {1, 3}}, 0)
+	if got := HorizontalDeviation(small, beta); math.IsInf(got, 1) {
+		t.Error("bounded arrival below bounded service should have finite delay")
+	}
+	big := New([]Point{{0, 0}, {1, 9}}, 0)
+	if got := HorizontalDeviation(big, beta); !math.IsInf(got, 1) {
+		t.Errorf("arrival above service supremum: delay = %g, want +Inf", got)
+	}
+	growing := Rate(0.1)
+	if got := HorizontalDeviation(growing, beta); !math.IsInf(got, 1) {
+		t.Errorf("unbounded arrival vs bounded service: delay = %g, want +Inf", got)
+	}
+}
+
+func TestHorizontalDeviationBruteForce(t *testing.T) {
+	alpha := Sum(TokenBucketCapped(2, 0.3, 1), TokenBucket(1, 0.1))
+	beta := RateLatency(0.9, 1.5)
+	got := HorizontalDeviation(alpha, beta)
+	// Brute force: for each t, smallest d with alpha(t) <= beta(t+d).
+	brute := 0.0
+	for i := 0; i <= 3000; i++ {
+		x := 30 * float64(i) / 3000
+		a := alpha.EvalRight(x)
+		lo, hi := 0.0, 200.0
+		for k := 0; k < 60; k++ {
+			mid := (lo + hi) / 2
+			if beta.Eval(x+mid) >= a {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if hi > brute {
+			brute = hi
+		}
+	}
+	if math.Abs(got-brute) > 0.05 {
+		t.Errorf("horizontal deviation = %g, brute %g", got, brute)
+	}
+	// The brute-force grid never exceeds the true supremum.
+	if got < brute-1e-6 {
+		t.Errorf("deviation %g below brute-force %g: bound unsound", got, brute)
+	}
+}
+
+func TestMaxBusyPeriod(t *testing.T) {
+	// Three (1, 0.2) sources through a unit server: G(t) = min stuff; busy
+	// period ends when G(t) = t.
+	g := Sum(TokenBucket(1, 0.2), TokenBucket(1, 0.2), TokenBucket(1, 0.2))
+	// G(t) = 3 + 0.6t for t > 0; crossing 3 + 0.6t = t at t = 7.5.
+	if got := MaxBusyPeriod(g, 1); !almostEqual(got, 7.5) {
+		t.Errorf("busy period = %g, want 7.5", got)
+	}
+}
+
+func TestMaxBusyPeriodUnstable(t *testing.T) {
+	g := TokenBucket(1, 2)
+	if got := MaxBusyPeriod(g, 1); !math.IsInf(got, 1) {
+		t.Errorf("unstable busy period = %g, want +Inf", got)
+	}
+	// Critically loaded: rate exactly c with a burst never drains.
+	crit := TokenBucket(1, 1)
+	if got := MaxBusyPeriod(crit, 1); !math.IsInf(got, 1) {
+		t.Errorf("critical busy period = %g, want +Inf", got)
+	}
+}
+
+func TestMaxBusyPeriodZeroInput(t *testing.T) {
+	if got := MaxBusyPeriod(Zero(), 1); got != 0 {
+		t.Errorf("idle busy period = %g, want 0", got)
+	}
+	// A source slower than the server never backlogs beyond t=0.
+	if got := MaxBusyPeriod(Rate(0.5), 1); !almostEqual(got, 0) {
+		t.Errorf("underloaded busy period = %g, want 0", got)
+	}
+}
+
+func TestMaxBusyPeriodCappedSources(t *testing.T) {
+	// Capped token buckets: G grows at c for a while (server exactly keeps
+	// up), then the burst region keeps it above the service line.
+	g := Sum(TokenBucketCapped(1, 0.2, 1), TokenBucketCapped(1, 0.2, 1))
+	// G(t) = 2t until each source's knee at 1/0.8 = 1.25, i.e. G=2t for
+	// t<=1.25, then 2 + 0.4t... busy period ends when G(t) = t.
+	got := MaxBusyPeriod(g, 1)
+	// Solve 2 + 0.4t = t -> t = 10/3.
+	if !almostEqual(got, 10.0/3) {
+		t.Errorf("busy period = %g, want %g", got, 10.0/3)
+	}
+}

@@ -1,0 +1,81 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzCurve builds a non-decreasing curve from raw fuzz bytes, or nil when
+// the bytes cannot form one.
+func fuzzCurve(data []byte) *Curve {
+	if len(data) < 3 {
+		return nil
+	}
+	slope := float64(data[0]%32) / 8
+	pts := []Point{{0, 0}}
+	x, y := 0.0, 0.0
+	for i := 1; i+1 < len(data) && len(pts) < 8; i += 2 {
+		dx := float64(data[i]%16) / 4
+		dy := float64(data[i+1]%16) / 4
+		x += dx
+		y += dy
+		pts = append(pts, Point{x, y})
+	}
+	c := New(pts, slope)
+	return &c
+}
+
+// FuzzAlgebra checks structural invariants of the core operations on
+// arbitrary generated curves: no panics, monotonicity preservation, and
+// the defining inequalities of min/convolution. The seed corpus runs in
+// the normal test suite; `go test -fuzz FuzzAlgebra ./internal/minplus`
+// explores further.
+func FuzzAlgebra(f *testing.F) {
+	f.Add([]byte{8, 1, 1, 2, 2, 0, 4}, []byte{4, 2, 0, 0, 3, 3, 1})
+	f.Add([]byte{0, 0, 0}, []byte{31, 15, 15})
+	f.Add([]byte{1, 0, 15, 15, 0}, []byte{2, 8, 8})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		fc, gc := fuzzCurve(a), fuzzCurve(b)
+		if fc == nil || gc == nil {
+			return
+		}
+		fcur, gcur := *fc, *gc
+		sum := Add(fcur, gcur)
+		mn := Min(fcur, gcur)
+		mx := Max(fcur, gcur)
+		conv := Convolve(fcur, gcur)
+		for _, c := range []Curve{sum, mn, mx, conv} {
+			if !c.IsNonDecreasing() {
+				t.Fatalf("result not monotone: %v (f=%v g=%v)", c, fcur, gcur)
+			}
+		}
+		hi := fcur.LastX() + gcur.LastX() + 2
+		for i := 0; i <= 16; i++ {
+			x := hi * float64(i) / 16
+			fv, gv := fcur.Eval(x), gcur.Eval(x)
+			if mn.Eval(x) > math.Min(fv, gv)+1e-6 {
+				t.Fatalf("min above operands at %g", x)
+			}
+			if mx.Eval(x) < math.Max(fv, gv)-1e-6 {
+				t.Fatalf("max below operands at %g", x)
+			}
+			if s := sum.Eval(x); math.Abs(s-(fv+gv)) > 1e-6 {
+				t.Fatalf("sum wrong at %g: %g vs %g", x, s, fv+gv)
+			}
+			// Convolution never exceeds either split at the endpoints.
+			if conv.Eval(x) > fv+gcur.Eval(0)+1e-6 {
+				t.Fatalf("conv above f-split at %g", x)
+			}
+			if conv.Eval(x) > gv+fcur.Eval(0)+1e-6 {
+				t.Fatalf("conv above g-split at %g", x)
+			}
+		}
+		// Deviations must be consistent: against the same service curve,
+		// sup-diff of the min never exceeds that of either operand.
+		beta := RateLatency(1, 1)
+		dm := SupDiff(mn, beta)
+		if df := SupDiff(fcur, beta); dm > df+1e-6 {
+			t.Fatalf("SupDiff(min) %g > SupDiff(f) %g", dm, df)
+		}
+	})
+}

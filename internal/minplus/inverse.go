@@ -1,0 +1,166 @@
+package minplus
+
+import "math"
+
+// LowerInverse returns the lower pseudo-inverse of a non-decreasing curve,
+//
+//	f^{-1}(y) = inf{ t >= 0 : f(t) >= y },
+//
+// itself a non-decreasing curve in y. Flat segments of f become jumps of
+// the inverse and jumps of f become flat segments. For y below f(0+) the
+// inverse is 0. The curve must be unbounded (positive final slope) so that
+// the inverse is defined for all y; LowerInverse panics otherwise, since a
+// bounded curve has no finite inverse beyond its supremum.
+func LowerInverse(f Curve) Curve {
+	f.mustValid()
+	if !f.IsNonDecreasing() {
+		panic("minplus: LowerInverse requires a non-decreasing curve")
+	}
+	if f.slope <= Eps {
+		panic("minplus: LowerInverse of a bounded curve (final slope 0)")
+	}
+	// Candidate ordinates: the Y values of all breakpoints (both sides of
+	// jumps) plus 0.
+	ys := []float64{0}
+	for _, p := range f.pts {
+		if p.Y > 0 {
+			ys = append(ys, p.Y)
+		}
+	}
+	eval := func(y float64) float64 { return LowerInverseAt(f, y) }
+	return fromEvaluator(ys, eval, 1/f.slope)
+}
+
+// LowerInverseAt evaluates the lower pseudo-inverse of f at a single
+// ordinate y without constructing the full inverse curve.
+func LowerInverseAt(f Curve, y float64) float64 {
+	f.mustValid()
+	if !f.IsNonDecreasing() {
+		panic("minplus: LowerInverseAt requires a non-decreasing curve")
+	}
+	if y <= f.pts[0].Y {
+		return 0
+	}
+	// Walk segments; find the first time the curve reaches y.
+	for i := 0; i < len(f.pts); i++ {
+		p := f.pts[i]
+		if p.Y >= y || almostEqual(p.Y, y) {
+			return p.X
+		}
+		last := f.lastOfRun(i)
+		if last != i {
+			// Jump at p.X from p.Y to f.pts[last].Y.
+			if f.pts[last].Y >= y || almostEqual(f.pts[last].Y, y) {
+				return p.X
+			}
+			i = last - 1 // continue from the upper point
+			continue
+		}
+		s := f.segSlope(i)
+		var nextY float64
+		var span float64
+		if i+1 < len(f.pts) {
+			span = f.pts[i+1].X - p.X
+			nextY = p.Y + s*span
+		} else {
+			span = math.Inf(1)
+			nextY = math.Inf(1)
+			if s <= Eps {
+				panic("minplus: LowerInverseAt beyond the supremum of a bounded curve")
+			}
+		}
+		if nextY >= y {
+			if s <= Eps {
+				// Flat segment cannot reach a strictly larger y;
+				// the next breakpoint handles it.
+				continue
+			}
+			return p.X + (y-p.Y)/s
+		}
+	}
+	panic("minplus: LowerInverseAt internal error") // unreachable
+}
+
+// UpperInverse returns the upper pseudo-inverse
+//
+//	f^{+1}(y) = sup{ t >= 0 : f(t) <= y } = inf{ t >= 0 : f(t) > y },
+//
+// for a non-decreasing unbounded curve.
+func UpperInverse(f Curve) Curve {
+	f.mustValid()
+	if !f.IsNonDecreasing() {
+		panic("minplus: UpperInverse requires a non-decreasing curve")
+	}
+	if f.slope <= Eps {
+		panic("minplus: UpperInverse of a bounded curve (final slope 0)")
+	}
+	ys := []float64{0}
+	for _, p := range f.pts {
+		if p.Y > 0 {
+			ys = append(ys, p.Y)
+		}
+	}
+	eval := func(y float64) float64 { return upperInverseAt(f, y) }
+	return fromEvaluator(ys, eval, 1/f.slope)
+}
+
+// upperInverseAt evaluates inf{ t : f(t) > y }.
+func upperInverseAt(f Curve, y float64) float64 {
+	// inf{t : f(t) > y} = lim_{y' -> y+} lowerInverse(y'). Evaluate by
+	// scanning for the last time the curve is still <= y.
+	t := LowerInverseAt(f, y)
+	// If f stays at y on a flat run starting at t, advance past it.
+	for {
+		r := f.EvalRight(t)
+		if r > y && !almostEqual(r, y) {
+			return t
+		}
+		// Flat at y: find the end of the flat segment.
+		adv := false
+		for i := 0; i < len(f.pts); i++ {
+			if f.pts[i].X > t+Eps && almostEqual(f.Eval(f.pts[i].X), y) {
+				t = f.pts[i].X
+				adv = true
+				break
+			}
+		}
+		if !adv {
+			// Flat to infinity at y would contradict positive final
+			// slope unless y is beyond all breakpoints.
+			return t
+		}
+	}
+}
+
+// strictInverseAtBounded returns inf{ x >= 0 : f(x) > y } for a
+// non-decreasing curve, or -1 when f never strictly exceeds y (bounded
+// curves whose supremum is at most y). It differs from the lower
+// pseudo-inverse only where f has a plateau at exactly y, in which case the
+// strict inverse skips past the plateau.
+func strictInverseAtBounded(f Curve, y float64) float64 {
+	x := LowerInverseAtBounded(f, y)
+	if x < 0 {
+		return -1
+	}
+	for {
+		if r := f.EvalRight(x); r > y && !almostEqual(r, y) {
+			return x
+		}
+		// The curve sits at (approximately) y just after x: advance to the
+		// next distinct breakpoint, or into the affine tail.
+		advanced := false
+		for _, bx := range f.xBreaks() {
+			if bx > x && !almostEqual(bx, x) {
+				x = bx
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			if f.slope > Eps {
+				return x // the tail rises immediately past y
+			}
+			return -1 // flat forever at y
+		}
+	}
+}

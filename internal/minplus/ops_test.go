@@ -1,0 +1,152 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleCheck compares a curve against a reference evaluator on a grid,
+// including points just left and right of every breakpoint.
+func sampleCheck(t *testing.T, got Curve, ref func(float64) float64, hi float64, label string) {
+	t.Helper()
+	const n = 400
+	for i := 0; i <= n; i++ {
+		x := hi * float64(i) / n
+		g, w := got.Eval(x), ref(x)
+		if !almostEqual(g, w) && math.Abs(g-w) > 1e-7 {
+			t.Fatalf("%s: Eval(%g) = %g, want %g (curve %v)", label, x, g, w, got)
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	f := TokenBucketCapped(2, 0.5, 1)
+	g := TokenBucketCapped(1, 0.25, 1)
+	s := Add(f, g)
+	sampleCheck(t, s, func(x float64) float64 { return f.Eval(x) + g.Eval(x) }, 20, "add")
+	if !almostEqual(s.FinalSlope(), 0.75) {
+		t.Errorf("final slope = %g, want 0.75", s.FinalSlope())
+	}
+}
+
+func TestAddWithJumps(t *testing.T) {
+	f := TokenBucket(3, 1)
+	g := Step(2, 1)
+	s := Add(f, g)
+	if got := s.Eval(0); got != 0 {
+		t.Errorf("sum at 0 = %g, want 0", got)
+	}
+	if got := s.EvalRight(0); got != 3 {
+		t.Errorf("sum right of 0 = %g, want 3", got)
+	}
+	if got := s.Eval(1); got != 4 {
+		t.Errorf("sum at 1 = %g, want 4 (left of step)", got)
+	}
+	if got := s.EvalRight(1); got != 6 {
+		t.Errorf("sum right of 1 = %g, want 6", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if !Sum().Equal(Zero()) {
+		t.Error("empty Sum should be zero")
+	}
+	a, b, c := TokenBucketCapped(1, 0.1, 1), TokenBucketCapped(2, 0.2, 1), TokenBucketCapped(3, 0.3, 1)
+	s := Sum(a, b, c)
+	sampleCheck(t, s, func(x float64) float64 { return a.Eval(x) + b.Eval(x) + c.Eval(x) }, 30, "sum3")
+	if !almostEqual(s.FinalSlope(), 0.6) {
+		t.Errorf("final slope = %g, want 0.6", s.FinalSlope())
+	}
+}
+
+func TestMinOfConcaveThroughOrigin(t *testing.T) {
+	f := TokenBucketCapped(2, 0.5, 1)
+	g := Rate(0.8)
+	m := Min(f, g)
+	sampleCheck(t, m, func(x float64) float64 { return math.Min(f.Eval(x), g.Eval(x)) }, 20, "min")
+	if !m.IsConcave() {
+		t.Errorf("min of concave curves should be concave: %v", m)
+	}
+}
+
+func TestMinMaxCrossingDetection(t *testing.T) {
+	// f = 2 + 0.5 t, g = t: cross at t = 4.
+	f := Affine(0.5, 2)
+	g := Identity()
+	m := Min(f, g)
+	if got := m.Eval(4); !almostEqual(got, 4) {
+		t.Errorf("min at crossing = %g, want 4", got)
+	}
+	if got := m.Eval(2); !almostEqual(got, 2) {
+		t.Errorf("min below crossing = %g, want 2 (g)", got)
+	}
+	if got := m.Eval(6); !almostEqual(got, 5) {
+		t.Errorf("min above crossing = %g, want 5 (f)", got)
+	}
+	mx := Max(f, g)
+	if got := mx.Eval(2); !almostEqual(got, 3) {
+		t.Errorf("max below crossing = %g, want 3 (f)", got)
+	}
+	if got := mx.Eval(6); !almostEqual(got, 6) {
+		t.Errorf("max above crossing = %g, want 6 (g)", got)
+	}
+	if !almostEqual(mx.FinalSlope(), 1) {
+		t.Errorf("max final slope = %g, want 1", mx.FinalSlope())
+	}
+	if !almostEqual(m.FinalSlope(), 0.5) {
+		t.Errorf("min final slope = %g, want 0.5", m.FinalSlope())
+	}
+}
+
+func TestMinTailCrossing(t *testing.T) {
+	// Curves whose only crossing is beyond both curves' breakpoints.
+	f := New([]Point{{0, 10}}, 0.1) // 10 + 0.1 t
+	g := New([]Point{{0, 0}, {1, 1}}, 2)
+	// g catches f where 1 + 2(t-1) = 10 + 0.1 t -> t = 11/1.9 + ...
+	m := Min(f, g)
+	sampleCheck(t, m, func(x float64) float64 { return math.Min(f.Eval(x), g.Eval(x)) }, 30, "tailmin")
+	if !almostEqual(m.FinalSlope(), 0.1) {
+		t.Errorf("final slope = %g, want 0.1", m.FinalSlope())
+	}
+}
+
+func TestPositivePart(t *testing.T) {
+	// t - 3 clipped at zero.
+	f := New([]Point{{0, -3}}, 1)
+	p := PositivePart(f)
+	if got := p.Eval(2); got != 0 {
+		t.Errorf("PositivePart.Eval(2) = %g, want 0", got)
+	}
+	if got := p.Eval(5); !almostEqual(got, 2) {
+		t.Errorf("PositivePart.Eval(5) = %g, want 2", got)
+	}
+	if !p.IsNonDecreasing() {
+		t.Error("positive part of an increasing curve should be non-decreasing")
+	}
+}
+
+func TestSub(t *testing.T) {
+	f := TokenBucketCapped(4, 0.5, 1)
+	g := Rate(0.5)
+	d := Sub(f, g)
+	sampleCheck(t, d, func(x float64) float64 { return f.Eval(x) - g.Eval(x) }, 20, "sub")
+	if !almostEqual(d.FinalSlope(), 0) {
+		t.Errorf("final slope = %g, want 0", d.FinalSlope())
+	}
+}
+
+func TestMinWithStepJump(t *testing.T) {
+	f := Step(5, 2)
+	g := Affine(1, 1)
+	m := Min(f, g)
+	// Before the step min = 0 (f); after the step min = g until g passes 5.
+	if got := m.Eval(1); got != 0 {
+		t.Errorf("m(1) = %g, want 0", got)
+	}
+	if got := m.Eval(3); !almostEqual(got, 4) {
+		t.Errorf("m(3) = %g, want 4 (g)", got)
+	}
+	if got := m.Eval(10); !almostEqual(got, 5) {
+		t.Errorf("m(10) = %g, want 5 (f)", got)
+	}
+}

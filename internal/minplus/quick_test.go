@@ -1,0 +1,323 @@
+package minplus
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genCurve draws a random non-decreasing piecewise-linear curve with a few
+// breakpoints, occasional jumps, and a bounded final slope.
+func genCurve(r *rand.Rand) Curve {
+	n := 1 + r.Intn(4)
+	pts := []Point{{0, 0}}
+	x, y := 0.0, 0.0
+	if r.Intn(3) == 0 { // jump at origin
+		y = round3(r.Float64() * 5)
+		pts = append(pts, Point{0, y})
+	}
+	for i := 0; i < n; i++ {
+		x += round3(0.25 + r.Float64()*3)
+		if r.Intn(4) == 0 { // occasional flat segment then jump
+			pts = append(pts, Point{x, y})
+			y += round3(r.Float64() * 4)
+			pts = append(pts, Point{x, y})
+			continue
+		}
+		y += round3(r.Float64() * 4)
+		pts = append(pts, Point{x, y})
+	}
+	slope := round3(r.Float64() * 3)
+	return New(pts, slope)
+}
+
+// round3 keeps coordinates on a coarse lattice so exact comparisons stay
+// away from floating-point noise.
+func round3(v float64) float64 { return math.Round(v*8) / 8 }
+
+// curveBox wraps Curve for testing/quick generation.
+type curveBox struct{ C Curve }
+
+func (curveBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(curveBox{genCurve(r)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 150}
+
+func TestQuickConvolveSoundAndTight(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		f, g := a.C, b.C
+		c := Convolve(f, g)
+		hi := f.LastX() + g.LastX() + 3
+		for i := 0; i <= 25; i++ {
+			x := hi * float64(i) / 25
+			want := bruteConvAt(f, g, x)
+			got := c.Eval(x)
+			if got > want+1e-6 {
+				t.Logf("unsound at %g: got %g > brute %g\nf=%v\ng=%v\nc=%v", x, got, want, f, g, c)
+				return false
+			}
+			if got < want-0.2 { // grid slack
+				t.Logf("too loose at %g: got %g << brute %g\nf=%v\ng=%v\nc=%v", x, got, want, f, g, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConvolveCommutative(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		return Convolve(a.C, b.C).Equal(Convolve(b.C, a.C))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConvolveMonotone(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		c := Convolve(a.C, b.C)
+		if !c.IsNonDecreasing() {
+			return false
+		}
+		// Convolution never exceeds either operand plus the other's value
+		// at zero.
+		hi := c.LastX() + 2
+		for i := 0; i <= 20; i++ {
+			x := hi * float64(i) / 20
+			if c.Eval(x) > a.C.Eval(x)+b.C.Eval(0)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddCommutativeAssociative(t *testing.T) {
+	prop := func(a, b, c curveBox) bool {
+		ab := Add(a.C, b.C)
+		if !ab.Equal(Add(b.C, a.C)) {
+			return false
+		}
+		return Add(ab, c.C).Equal(Add(a.C, Add(b.C, c.C)))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinMaxEnvelope(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		mn, mx := Min(a.C, b.C), Max(a.C, b.C)
+		hi := math.Max(a.C.LastX(), b.C.LastX()) + 2
+		for i := 0; i <= 40; i++ {
+			x := hi * float64(i) / 40
+			fa, fb := a.C.Eval(x), b.C.Eval(x)
+			if !almostEqual(mn.Eval(x), math.Min(fa, fb)) {
+				return false
+			}
+			if !almostEqual(mx.Eval(x), math.Max(fa, fb)) {
+				return false
+			}
+		}
+		// min + max == f + g pointwise.
+		return Add(mn, mx).Equal(Add(a.C, b.C))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLowerInverseGalois(t *testing.T) {
+	prop := func(a curveBox) bool {
+		f := a.C
+		if f.FinalSlope() <= Eps {
+			return true // bounded curves have no full inverse
+		}
+		ymax := f.Eval(f.LastX()+2) + 1
+		for i := 0; i <= 30; i++ {
+			y := ymax * float64(i) / 30
+			x := LowerInverseAt(f, y)
+			// Minimality: strictly before x the curve is below y.
+			if x > 1e-6 && f.Eval(x-1e-7) > y+1e-6 {
+				return false
+			}
+			// Attainment: at or just after x the curve reaches y.
+			if math.Max(f.Eval(x), f.EvalRight(x)) < y-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComposeMatchesPointwise(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		f, g := a.C, b.C
+		h := Compose(f, g)
+		hi := g.LastX() + 3
+		for i := 0; i <= 40; i++ {
+			x := hi*float64(i)/40 + 1e-3 // avoid ambiguity exactly at jumps
+			if !almostEqual(h.Eval(x), f.Eval(g.Eval(x))) {
+				t.Logf("compose mismatch at %g: got %g want %g\nf=%v\ng=%v\nh=%v",
+					x, h.Eval(x), f.Eval(g.Eval(x)), f, g, h)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeconvolveDominatesShiftedInput(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		f, g := a.C, b.C
+		if f.FinalSlope() > g.FinalSlope()+Eps {
+			_, err := Deconvolve(f, g)
+			return err != nil
+		}
+		d, err := Deconvolve(f, g)
+		if err != nil {
+			return false
+		}
+		// (f (/) g)(t) >= f(t) - g(0) with s = 0.
+		hi := f.LastX() + g.LastX() + 2
+		for i := 0; i <= 25; i++ {
+			x := hi * float64(i) / 25
+			if d.Eval(x) < f.Eval(x)-g.EvalRight(0)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDelayShiftRoundTrip(t *testing.T) {
+	prop := func(a curveBox, dRaw uint8) bool {
+		d := float64(dRaw%16) / 4
+		f := a.C
+		return ShiftLeft(Delay(f, d), d).Equal(f)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHorizontalDeviationSound(t *testing.T) {
+	prop := func(a, b curveBox) bool {
+		alpha, beta := a.C, b.C
+		h := HorizontalDeviation(alpha, beta)
+		if math.IsInf(h, 1) {
+			return true
+		}
+		// Soundness: alpha(t) <= beta(t + h + eps) for all t.
+		hi := alpha.LastX() + beta.LastX() + 3
+		for i := 0; i <= 40; i++ {
+			x := hi * float64(i) / 40
+			if alpha.Eval(x) > beta.Eval(x+h+1e-6)+1e-5 {
+				t.Logf("unsound at t=%g: alpha %g > beta(t+h) %g (h=%g)\nalpha=%v\nbeta=%v",
+					x, alpha.Eval(x), beta.Eval(x+h+1e-6), h, alpha, beta)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEqualReflexive(t *testing.T) {
+	prop := func(a curveBox) bool { return a.C.Equal(a.C) }
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMonotoneClosureProperties(t *testing.T) {
+	prop := func(a curveBox) bool {
+		f := a.C
+		c := MonotoneClosure(f)
+		if !c.IsNonDecreasing() {
+			return false
+		}
+		hi := f.LastX() + 2
+		for i := 0; i <= 30; i++ {
+			x := hi * float64(i) / 30
+			// Never above the original, and idempotent.
+			if c.Eval(x) > f.Eval(x)+1e-9 {
+				return false
+			}
+		}
+		return MonotoneClosure(c).Equal(c)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickZeroUntilProperties(t *testing.T) {
+	prop := func(a curveBox, gateRaw uint8) bool {
+		f := a.C
+		gate := float64(gateRaw%20) / 4
+		g := ZeroUntil(f, gate)
+		if !g.IsNonDecreasing() {
+			return false
+		}
+		hi := f.LastX() + gate + 2
+		for i := 0; i <= 30; i++ {
+			x := hi * float64(i) / 30
+			switch {
+			case x < gate-1e-9:
+				if g.Eval(x) != 0 {
+					return false
+				}
+			case x > gate+1e-9:
+				if !almostEqual(g.Eval(x), f.Eval(x)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickConvolveWithGatedOperand(t *testing.T) {
+	// Convolving with a gated curve delays everything by at least the
+	// gate: the composition the integrated analyzer performs constantly.
+	prop := func(a, b curveBox, gateRaw uint8) bool {
+		gate := float64(gateRaw%16) / 4
+		f := a.C
+		g := ZeroUntil(b.C, gate)
+		c := Convolve(f, g)
+		// c(t) <= f(t-gate) + g-tail... at minimum, c is 0 wherever both
+		// operands give no service: c(t) = 0 for t <= gate if f(0) = 0.
+		if f.Eval(0) == 0 && c.Eval(gate) > 1e-9 {
+			return false
+		}
+		return c.IsNonDecreasing()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}

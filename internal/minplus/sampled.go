@@ -1,0 +1,44 @@
+package minplus
+
+import "math"
+
+// ConvolveSampled computes the min-plus convolution on a uniform time grid
+// of the given step, up to the horizon, with the exact affine tail beyond
+// it. It exists as the baseline for the exact/sampled ablation
+// (BenchmarkAblationSampling): grid evaluation is how several network
+// calculus tools approximate convolution, trading a discretization error
+// of up to (step * max slope) for predictable cost.
+//
+// The sampled result is NOT sound in general — sampling an infimum can
+// overshoot the true curve between grid points — so the library's
+// analyzers always use the exact Convolve; this function is for
+// measurement and comparison only.
+func ConvolveSampled(f, g Curve, step, horizon float64) Curve {
+	f.mustValid()
+	g.mustValid()
+	if step <= 0 || horizon <= 0 {
+		panic("minplus: ConvolveSampled needs positive step and horizon")
+	}
+	if !f.IsNonDecreasing() || !g.IsNonDecreasing() {
+		panic("minplus: ConvolveSampled requires non-decreasing curves")
+	}
+	n := int(math.Ceil(horizon/step)) + 1
+	fv := make([]float64, n)
+	gv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * step
+		fv[i] = f.Eval(t)
+		gv[i] = g.Eval(t)
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for s := 0; s <= i; s++ {
+			if v := fv[s] + gv[i-s]; v < best {
+				best = v
+			}
+		}
+		pts = append(pts, Point{float64(i) * step, best})
+	}
+	return New(pts, math.Min(f.FinalSlope(), g.FinalSlope()))
+}

@@ -1,0 +1,62 @@
+package minplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvolveSampledApproachesExact(t *testing.T) {
+	f := TokenBucketCapped(3, 0.25, 1)
+	g := RateLatency(0.8, 2)
+	exact := Convolve(f, g)
+	prevErr := math.Inf(1)
+	for _, step := range []float64{1, 0.25, 0.0625} {
+		sampled := ConvolveSampled(f, g, step, 30)
+		worst := 0.0
+		for i := 0; i <= 100; i++ {
+			x := 30 * float64(i) / 100
+			if d := math.Abs(sampled.Eval(x) - exact.Eval(x)); d > worst {
+				worst = d
+			}
+		}
+		if worst > prevErr+1e-9 {
+			t.Errorf("step %g: error %g did not shrink (prev %g)", step, worst, prevErr)
+		}
+		prevErr = worst
+	}
+	if prevErr > 0.2 {
+		t.Errorf("finest grid still off by %g", prevErr)
+	}
+}
+
+func TestConvolveSampledNeverBelowExact(t *testing.T) {
+	// Sampling restricts the infimum to grid split points, so the sampled
+	// curve can only be above the exact one at grid points.
+	f := TokenBucket(2, 0.5)
+	g := RateLatency(1, 1.5)
+	exact := Convolve(f, g)
+	sampled := ConvolveSampled(f, g, 0.3, 20)
+	for i := 0; i <= 60; i++ {
+		x := 0.3 * float64(i)
+		if sampled.Eval(x) < exact.Eval(x)-1e-9 {
+			t.Errorf("sampled %g below exact %g at %g", sampled.Eval(x), exact.Eval(x), x)
+		}
+	}
+}
+
+func TestConvolveSampledPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ConvolveSampled(Zero(), Zero(), 0, 10) },
+		func() { ConvolveSampled(Zero(), Zero(), 0.1, 0) },
+		func() { ConvolveSampled(New([]Point{{0, 5}, {1, 0}}, 0), Zero(), 0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,47 @@
+package netspec
+
+import (
+	"testing"
+)
+
+// FuzzDecode drives the JSON decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must survive an encode/decode round trip.
+// The seed corpus runs as part of the regular test suite; `go test -fuzz
+// FuzzDecode ./internal/netspec` explores further.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		sample,
+		`{}`,
+		`{"servers":[],"connections":[]}`,
+		`{"servers":[{"name":"a","capacity":1}],"connections":[]}`,
+		`{"servers":[{"name":"a","capacity":1,"discipline":"edf"}],
+		  "connections":[{"name":"c","sigma":1,"rho":0.1,"path":["a"],"deadline":2}]}`,
+		`{"servers":[{"name":"a","capacity":1}],
+		  "connections":[{"name":"c","sigma":1,"rho":0.1,"path":[0],
+		   "envelope":{"points":[[0,0],[1,2]],"slope":0.1}}]}`,
+		`{"servers":[{"name":"a","capacity":-1}],"connections":[]}`,
+		`[1,2,3]`,
+		`not json at all`,
+		`{"servers":[{"name":"a","capacity":1}],"connections":[{"path":[99]}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Decode(data)
+		if err != nil {
+			return // rejecting is always fine; panicking is not
+		}
+		out, err := Encode(net)
+		if err != nil {
+			t.Fatalf("accepted network failed to encode: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("encoded network failed to decode: %v\n%s", err, out)
+		}
+		if len(back.Servers) != len(net.Servers) || len(back.Connections) != len(net.Connections) {
+			t.Fatal("round trip changed the network shape")
+		}
+	})
+}

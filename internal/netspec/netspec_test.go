@@ -1,0 +1,183 @@
+package netspec
+
+import (
+	"strings"
+	"testing"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+	"delaycalc/internal/traffic"
+)
+
+const sample = `{
+  "servers": [
+    {"name": "sw0", "capacity": 1, "discipline": "fifo"},
+    {"name": "sw1", "capacity": 1}
+  ],
+  "connections": [
+    {"name": "video", "sigma": 1, "rho": 0.25, "access_rate": 1,
+     "path": ["sw0", "sw1"], "deadline": 10},
+    {"name": "cross", "sigma": 1, "rho": 0.25, "access_rate": 1,
+     "path": [1]}
+  ]
+}`
+
+func TestDecode(t *testing.T) {
+	net, err := Decode([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Servers) != 2 || len(net.Connections) != 2 {
+		t.Fatalf("decoded %d servers, %d connections", len(net.Servers), len(net.Connections))
+	}
+	if net.Connections[0].Path[1] != 1 {
+		t.Errorf("name-based path not resolved: %v", net.Connections[0].Path)
+	}
+	if net.Connections[1].Path[0] != 1 {
+		t.Errorf("index-based path not resolved: %v", net.Connections[1].Path)
+	}
+	if net.Connections[0].Deadline != 10 {
+		t.Errorf("deadline lost: %g", net.Connections[0].Deadline)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unknown field", `{"servers": [{"name":"a","capacity":1,"speed":2}], "connections": []}`},
+		{"unknown server in path", `{"servers": [{"name":"a","capacity":1}], "connections": [{"name":"c","sigma":1,"rho":0.1,"path":["b"]}]}`},
+		{"bad hop type", `{"servers": [{"name":"a","capacity":1}], "connections": [{"name":"c","sigma":1,"rho":0.1,"path":[true]}]}`},
+		{"bad discipline", `{"servers": [{"name":"a","capacity":1,"discipline":"lifo"}], "connections": []}`},
+		{"invalid network", `{"servers": [{"name":"a","capacity":0}], "connections": []}`},
+		{"duplicate server", `{"servers": [{"name":"a","capacity":1},{"name":"a","capacity":1}], "connections": []}`},
+		{"syntax", `{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tc.doc)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	net, err := topo.PaperTandem(3, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, data)
+	}
+	if len(back.Servers) != len(net.Servers) || len(back.Connections) != len(net.Connections) {
+		t.Fatal("round trip changed sizes")
+	}
+	for i := range net.Connections {
+		a, b := net.Connections[i], back.Connections[i]
+		if a.Name != b.Name || a.Bucket != b.Bucket || len(a.Path) != len(b.Path) {
+			t.Errorf("connection %d changed: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Path {
+			if a.Path[j] != b.Path[j] {
+				t.Errorf("connection %d path changed", i)
+			}
+		}
+	}
+}
+
+func TestParseDiscipline(t *testing.T) {
+	cases := map[string]server.Discipline{
+		"":                server.FIFO,
+		"fifo":            server.FIFO,
+		"FIFO":            server.FIFO,
+		"sp":              server.StaticPriority,
+		"static-priority": server.StaticPriority,
+		"wfq":             server.GuaranteedRate,
+		"guaranteed-rate": server.GuaranteedRate,
+		"edf":             server.EDF,
+	}
+	for in, want := range cases {
+		got, err := ParseDiscipline(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDiscipline(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseDiscipline("round-robin"); err == nil {
+		t.Error("expected error for unknown discipline")
+	}
+}
+
+func TestDisciplineNameRoundTrip(t *testing.T) {
+	for _, d := range []server.Discipline{server.FIFO, server.StaticPriority, server.GuaranteedRate, server.EDF} {
+		back, err := ParseDiscipline(DisciplineName(d))
+		if err != nil || back != d {
+			t.Errorf("round trip of %v failed: %v, %v", d, back, err)
+		}
+	}
+}
+
+func TestEncodeUsesNames(t *testing.T) {
+	net, _ := topo.PaperTandem(2, 0.5)
+	data, err := Encode(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sw0.mid"`) {
+		t.Errorf("encoded spec should reference servers by name:\n%s", data)
+	}
+}
+
+func TestEnvelopeSpecRoundTrip(t *testing.T) {
+	tr := traffic.SyntheticGOP(3, 6, 8000, 3000, 1000, 0.04)
+	env, err := tr.Envelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := &topo.Network{
+		Servers: []server.Server{{Name: "s", Capacity: 1e6}},
+		Connections: []topo.Connection{{
+			Name:     "video",
+			Bucket:   traffic.TokenBucket{Sigma: tr.PeakFrame(), Rho: tr.MeanRate()},
+			Path:     []int{0},
+			Envelope: &env,
+		}},
+	}
+	data, err := Encode(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"envelope"`) {
+		t.Fatalf("envelope not serialized:\n%s", data)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Connections[0].Envelope
+	if got == nil {
+		t.Fatal("envelope lost in round trip")
+	}
+	if !got.Equal(env) {
+		t.Errorf("envelope changed: %v vs %v", got, env)
+	}
+}
+
+func TestEnvelopeSpecInvalid(t *testing.T) {
+	doc := `{"servers":[{"name":"a","capacity":1}],
+	 "connections":[{"name":"c","sigma":1,"rho":0.1,"path":["a"],
+	  "envelope":{"points":[[5,1]],"slope":0.1}}]}`
+	if _, err := Decode([]byte(doc)); err == nil {
+		t.Fatal("expected error for envelope not starting at x=0")
+	}
+	// Envelope slope disagreeing with rho fails network validation.
+	doc2 := `{"servers":[{"name":"a","capacity":1}],
+	 "connections":[{"name":"c","sigma":1,"rho":0.1,"path":["a"],
+	  "envelope":{"points":[[0,0]],"slope":0.5}}]}`
+	if _, err := Decode([]byte(doc2)); err == nil {
+		t.Fatal("expected error for rate mismatch")
+	}
+}

@@ -1,0 +1,208 @@
+// Package sched provides the packet-queue scheduling disciplines used by
+// the discrete-event simulator: FIFO, static priority, and self-clocked
+// fair queueing (a practical weighted-fair-queueing variant). The analytic
+// packages never depend on sched; it exists to validate their bounds
+// against executable behavior.
+package sched
+
+import "container/heap"
+
+// Packet is one simulated packet.
+type Packet struct {
+	Conn     int     // connection index
+	Size     float64 // bits
+	Release  float64 // time the packet entered the network (first server)
+	Priority int     // static-priority class, lower = more urgent
+	Weight   float64 // fair-queueing weight (reserved rate)
+	Hop      int     // current hop index along the connection's path
+	// LocalDeadline is the packet's relative per-hop deadline; EDF queues
+	// serve by arrival time plus LocalDeadline.
+	LocalDeadline float64
+	seq           uint64  // global arrival sequence for FIFO tie-breaking
+	tag           float64 // SCFQ virtual finish tag or EDF absolute deadline
+}
+
+// Queue is a work-conserving packet queue feeding one transmission line.
+type Queue interface {
+	// Push enqueues a packet that arrived at the given time.
+	Push(p *Packet, now float64)
+	// Pop removes and returns the next packet to transmit, or nil.
+	Pop(now float64) *Packet
+	// Len returns the number of queued packets.
+	Len() int
+}
+
+// fifoQueue serves packets strictly in arrival order.
+type fifoQueue struct {
+	q   []*Packet
+	seq uint64
+}
+
+// NewFIFO returns a FIFO queue.
+func NewFIFO() Queue { return &fifoQueue{} }
+
+func (f *fifoQueue) Push(p *Packet, _ float64) {
+	p.seq = f.seq
+	f.seq++
+	f.q = append(f.q, p)
+}
+
+func (f *fifoQueue) Pop(_ float64) *Packet {
+	if len(f.q) == 0 {
+		return nil
+	}
+	p := f.q[0]
+	copy(f.q, f.q[1:])
+	f.q = f.q[:len(f.q)-1]
+	return p
+}
+
+func (f *fifoQueue) Len() int { return len(f.q) }
+
+// spQueue serves the lowest-numbered backlogged priority class first; ties
+// within a class break FIFO. Service is non-preemptive, as in a real
+// store-and-forward switch: preemption decisions happen only at packet
+// boundaries because Pop is only called when the line frees up.
+type spQueue struct {
+	classes map[int]*fifoQueue
+	order   []int // sorted priorities present
+}
+
+// NewStaticPriority returns a static-priority queue.
+func NewStaticPriority() Queue { return &spQueue{classes: make(map[int]*fifoQueue)} }
+
+func (s *spQueue) Push(p *Packet, now float64) {
+	q, ok := s.classes[p.Priority]
+	if !ok {
+		q = &fifoQueue{}
+		s.classes[p.Priority] = q
+		s.order = insertSorted(s.order, p.Priority)
+	}
+	q.Push(p, now)
+}
+
+func (s *spQueue) Pop(now float64) *Packet {
+	for _, prio := range s.order {
+		if q := s.classes[prio]; q.Len() > 0 {
+			return q.Pop(now)
+		}
+	}
+	return nil
+}
+
+func (s *spQueue) Len() int {
+	n := 0
+	for _, q := range s.classes {
+		n += q.Len()
+	}
+	return n
+}
+
+func insertSorted(xs []int, v int) []int {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	xs = append(xs, v)
+	for i := len(xs) - 1; i > 0 && xs[i] < xs[i-1]; i-- {
+		xs[i], xs[i-1] = xs[i-1], xs[i]
+	}
+	return xs
+}
+
+// scfqQueue implements Self-Clocked Fair Queueing (Golestani): each packet
+// receives the virtual finish tag
+//
+//	F = max(v, F_prev(flow)) + Size/Weight,
+//
+// where v is the tag of the packet most recently dequeued, and packets are
+// served in tag order. SCFQ approximates GPS within one packet per flow and
+// is the classical practical realization of a guaranteed-rate server.
+type scfqQueue struct {
+	h        tagHeap
+	lastTag  map[int]float64
+	v        float64
+	seq      uint64
+	capacity float64
+}
+
+// NewSCFQ returns a self-clocked fair queueing queue.
+func NewSCFQ() Queue {
+	return &scfqQueue{lastTag: make(map[int]float64)}
+}
+
+func (s *scfqQueue) Push(p *Packet, _ float64) {
+	w := p.Weight
+	if w <= 0 {
+		w = 1
+	}
+	start := s.v
+	if last, ok := s.lastTag[p.Conn]; ok && last > start {
+		start = last
+	}
+	p.tag = start + p.Size/w
+	s.lastTag[p.Conn] = p.tag
+	p.seq = s.seq
+	s.seq++
+	heap.Push(&s.h, p)
+}
+
+func (s *scfqQueue) Pop(_ float64) *Packet {
+	if s.h.Len() == 0 {
+		return nil
+	}
+	p := heap.Pop(&s.h).(*Packet)
+	s.v = p.tag
+	return p
+}
+
+func (s *scfqQueue) Len() int { return s.h.Len() }
+
+// edfQueue serves the packet with the earliest absolute local deadline
+// (arrival time at this hop plus the packet's relative LocalDeadline);
+// ties break in arrival order. Service is non-preemptive.
+type edfQueue struct {
+	h   tagHeap
+	seq uint64
+}
+
+// NewEDF returns an earliest-deadline-first queue.
+func NewEDF() Queue { return &edfQueue{} }
+
+func (e *edfQueue) Push(p *Packet, now float64) {
+	p.tag = now + p.LocalDeadline
+	p.seq = e.seq
+	e.seq++
+	heap.Push(&e.h, p)
+}
+
+func (e *edfQueue) Pop(_ float64) *Packet {
+	if e.h.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&e.h).(*Packet)
+}
+
+func (e *edfQueue) Len() int { return e.h.Len() }
+
+// tagHeap orders packets by SCFQ tag or EDF deadline, then arrival
+// sequence.
+type tagHeap []*Packet
+
+func (h tagHeap) Len() int { return len(h) }
+func (h tagHeap) Less(i, j int) bool {
+	if h[i].tag != h[j].tag {
+		return h[i].tag < h[j].tag
+	}
+	return h[i].seq < h[j].seq
+}
+func (h tagHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tagHeap) Push(x interface{}) { *h = append(*h, x.(*Packet)) }
+func (h *tagHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}

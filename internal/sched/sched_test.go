@@ -1,0 +1,107 @@
+package sched
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	for i := 0; i < 5; i++ {
+		q.Push(&Packet{Conn: i}, float64(i))
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		p := q.Pop(10)
+		if p == nil || p.Conn != i {
+			t.Fatalf("pop %d: got %+v", i, p)
+		}
+	}
+	if q.Pop(10) != nil {
+		t.Error("empty queue should pop nil")
+	}
+}
+
+func TestStaticPriorityOrder(t *testing.T) {
+	q := NewStaticPriority()
+	q.Push(&Packet{Conn: 0, Priority: 2}, 0)
+	q.Push(&Packet{Conn: 1, Priority: 0}, 1)
+	q.Push(&Packet{Conn: 2, Priority: 1}, 2)
+	q.Push(&Packet{Conn: 3, Priority: 0}, 3)
+	wantConns := []int{1, 3, 2, 0} // class 0 FIFO first, then 1, then 2
+	for i, want := range wantConns {
+		p := q.Pop(10)
+		if p == nil || p.Conn != want {
+			t.Fatalf("pop %d: got %+v, want conn %d", i, p, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
+	}
+}
+
+func TestStaticPriorityLen(t *testing.T) {
+	q := NewStaticPriority()
+	for i := 0; i < 7; i++ {
+		q.Push(&Packet{Priority: i % 3}, 0)
+	}
+	if q.Len() != 7 {
+		t.Errorf("Len = %d, want 7", q.Len())
+	}
+}
+
+func TestSCFQSharesBandwidthByWeight(t *testing.T) {
+	q := NewSCFQ()
+	// Flow 0 has twice the weight of flow 1; with both continuously
+	// backlogged, flow 0 should be served about twice as often.
+	for i := 0; i < 30; i++ {
+		q.Push(&Packet{Conn: 0, Size: 1, Weight: 2}, 0)
+		q.Push(&Packet{Conn: 1, Size: 1, Weight: 1}, 0)
+	}
+	served := map[int]int{}
+	for i := 0; i < 30; i++ {
+		p := q.Pop(0)
+		served[p.Conn]++
+	}
+	if served[0] < 18 || served[0] > 22 {
+		t.Errorf("weighted share off: flow0 served %d of 30 (want ~20)", served[0])
+	}
+}
+
+func TestSCFQDefaultsZeroWeight(t *testing.T) {
+	q := NewSCFQ()
+	q.Push(&Packet{Conn: 0, Size: 1, Weight: 0}, 0)
+	if p := q.Pop(0); p == nil || p.Conn != 0 {
+		t.Fatal("zero-weight packet lost")
+	}
+}
+
+func TestSCFQFIFOWithinFlow(t *testing.T) {
+	q := NewSCFQ()
+	for i := 0; i < 4; i++ {
+		q.Push(&Packet{Conn: 0, Size: 1, Weight: 1, Release: float64(i)}, float64(i))
+	}
+	prev := -1.0
+	for i := 0; i < 4; i++ {
+		p := q.Pop(0)
+		if p.Release < prev {
+			t.Fatal("per-flow order violated")
+		}
+		prev = p.Release
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	xs := []int{}
+	for _, v := range []int{3, 1, 2, 1, 5, 0} {
+		xs = insertSorted(xs, v)
+	}
+	want := []int{0, 1, 2, 3, 5}
+	if len(xs) != len(want) {
+		t.Fatalf("got %v, want %v", xs, want)
+	}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Fatalf("got %v, want %v", xs, want)
+		}
+	}
+}

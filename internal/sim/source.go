@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source produces the emission times (entry into the first server) of a
+// connection's packets up to a horizon. All sources respect the
+// connection's token bucket so that simulated traffic conforms to the
+// envelope the analyzers assume.
+type Source interface {
+	// Times returns the strictly non-decreasing emission instants of
+	// consecutive packets of the given size within [0, horizon).
+	Times(packetSize, horizon float64) []float64
+}
+
+// GreedySource emits as fast as the token bucket and access line allow,
+// starting with a full bucket at time zero — the adversarial pattern the
+// worst-case analysis is built around. Its fluid cumulative emission is
+// exactly min(access*t, sigma + rho*t).
+type GreedySource struct {
+	Sigma, Rho float64
+	Access     float64 // access line rate; 0 means unlimited
+}
+
+// Times implements Source by inverting the fluid emission function at each
+// packet boundary.
+func (g GreedySource) Times(packetSize, horizon float64) []float64 {
+	if packetSize <= 0 {
+		panic("sim: non-positive packet size")
+	}
+	var times []float64
+	for k := 1; ; k++ {
+		bits := float64(k) * packetSize
+		t := g.inverse(bits)
+		if math.IsInf(t, 1) || t >= horizon {
+			break
+		}
+		times = append(times, t)
+	}
+	return times
+}
+
+// inverse returns the first time the fluid emission reaches the given
+// number of bits.
+func (g GreedySource) inverse(bits float64) float64 {
+	// Emission E(t) = min(a*t, sigma + rho*t) with a = access (or +inf).
+	if g.Access <= 0 {
+		// Instantaneous burst of sigma at t=0, then rate rho.
+		if bits <= g.Sigma {
+			return 0
+		}
+		if g.Rho <= 0 {
+			return math.Inf(1)
+		}
+		return (bits - g.Sigma) / g.Rho
+	}
+	tLine := bits / g.Access
+	if g.Access*tLine <= g.Sigma+g.Rho*tLine {
+		return tLine
+	}
+	if g.Rho <= 0 {
+		return math.Inf(1)
+	}
+	return (bits - g.Sigma) / g.Rho
+}
+
+// OnOffSource alternates activity bursts with silences while remaining
+// token-bucket compliant: during an on-period it emits as fast as the
+// bucket and access line allow; during an off-period the bucket refills.
+// It models bursty but conforming traffic, less adversarial than greedy.
+type OnOffSource struct {
+	Sigma, Rho float64
+	Access     float64
+	On, Off    float64 // durations of the on- and off-phases
+	Phase      float64 // initial offset into the cycle
+}
+
+// Times implements Source with a forward token-bucket simulation.
+func (o OnOffSource) Times(packetSize, horizon float64) []float64 {
+	if packetSize <= 0 {
+		panic("sim: non-positive packet size")
+	}
+	if o.On <= 0 || o.Off < 0 {
+		panic(fmt.Sprintf("sim: invalid on/off durations %g/%g", o.On, o.Off))
+	}
+	access := o.Access
+	if access <= 0 {
+		access = math.Inf(1)
+	}
+	var times []float64
+	tokens := o.Sigma
+	t := 0.0
+	cycle := o.On + o.Off
+	phase := math.Mod(o.Phase, cycle)
+	for t < horizon {
+		pos := math.Mod(t+phase, cycle)
+		if pos >= o.On {
+			// Off phase: jump to the next on-phase start, refilling.
+			wait := cycle - pos
+			tokens = math.Min(o.Sigma, tokens+o.Rho*wait)
+			t += wait
+			continue
+		}
+		// On phase: wait (if needed) for enough tokens, bounded by the
+		// access line spacing.
+		if tokens < packetSize {
+			need := (packetSize - tokens) / o.Rho
+			endOn := t + (o.On - pos)
+			if t+need >= endOn {
+				// Tokens will not suffice within this on-phase burst;
+				// refill through the off phase.
+				tokens = math.Min(o.Sigma, tokens+o.Rho*(endOn-t))
+				t = endOn
+				continue
+			}
+			tokens += o.Rho * need
+			t += need
+		}
+		tokens -= packetSize
+		times = append(times, t)
+		// Access line pacing; tokens keep accruing while transmitting.
+		pace := packetSize / access
+		tokens = math.Min(o.Sigma, tokens+o.Rho*pace)
+		t += pace
+	}
+	return times
+}
+
+// CBRSource emits at a constant rate (which must not exceed the bucket
+// rate for compliance), starting at a configurable offset.
+type CBRSource struct {
+	Rate   float64
+	Offset float64
+}
+
+// Times implements Source.
+func (c CBRSource) Times(packetSize, horizon float64) []float64 {
+	if c.Rate <= 0 {
+		return nil
+	}
+	var times []float64
+	spacing := packetSize / c.Rate
+	for t := c.Offset; t < horizon; t += spacing {
+		times = append(times, t)
+	}
+	return times
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// assertConforming checks that the cumulative emissions never exceed the
+// token-bucket envelope over any window.
+func assertConforming(t *testing.T, times []float64, packetSize, sigma, rho float64) {
+	t.Helper()
+	for i := range times {
+		for j := i; j < len(times); j++ {
+			window := times[j] - times[i]
+			bits := float64(j-i+1) * packetSize
+			if bits > sigma+rho*window+packetSize+1e-9 {
+				// One packet of slack: the analysis counts fluid bits, a
+				// packet is counted entirely at its last bit.
+				t.Fatalf("burst violation: %d packets (%g bits) in window %g (allowed %g)",
+					j-i+1, bits, window, sigma+rho*window)
+			}
+		}
+	}
+}
+
+func TestGreedySourcePacing(t *testing.T) {
+	src := GreedySource{Sigma: 1, Rho: 0.25, Access: 1}
+	times := src.Times(0.1, 50)
+	if len(times) == 0 {
+		t.Fatal("no packets")
+	}
+	// Early packets paced by the access line (0.1 apart), late packets by
+	// the token rate (0.4 apart).
+	if d := times[1] - times[0]; math.Abs(d-0.1) > 1e-9 {
+		t.Errorf("early spacing %g, want 0.1", d)
+	}
+	last := len(times) - 1
+	if d := times[last] - times[last-1]; math.Abs(d-0.4) > 1e-9 {
+		t.Errorf("late spacing %g, want 0.4", d)
+	}
+	assertConforming(t, times, 0.1, 1, 0.25)
+}
+
+func TestGreedySourceUncappedBurst(t *testing.T) {
+	src := GreedySource{Sigma: 1, Rho: 0.5}
+	times := src.Times(0.25, 10)
+	// The first sigma/L = 4 packets are released at t = 0.
+	for i := 0; i < 4; i++ {
+		if times[i] != 0 {
+			t.Errorf("packet %d at %g, want 0", i, times[i])
+		}
+	}
+	if times[4] == 0 {
+		t.Error("packet 4 should wait for tokens")
+	}
+}
+
+func TestGreedySourceZeroRate(t *testing.T) {
+	src := GreedySource{Sigma: 1, Rho: 0}
+	times := src.Times(0.5, 100)
+	if len(times) != 2 {
+		t.Errorf("rho=0: got %d packets, want exactly the burst (2)", len(times))
+	}
+}
+
+func TestGreedySourceHorizon(t *testing.T) {
+	src := GreedySource{Sigma: 1, Rho: 1, Access: 2}
+	times := src.Times(0.1, 5)
+	for _, x := range times {
+		if x >= 5 {
+			t.Errorf("emission %g beyond horizon", x)
+		}
+	}
+}
+
+func TestOnOffSourceConforms(t *testing.T) {
+	src := OnOffSource{Sigma: 1, Rho: 0.25, Access: 1, On: 2, Off: 3}
+	times := src.Times(0.1, 60)
+	if len(times) == 0 {
+		t.Fatal("no packets")
+	}
+	assertConforming(t, times, 0.1, 1, 0.25)
+	// Emissions must avoid off phases.
+	for _, x := range times {
+		pos := math.Mod(x, 5)
+		if pos > 2+1e-9 {
+			t.Errorf("emission at %g falls into the off phase (pos %g)", x, pos)
+		}
+	}
+}
+
+func TestOnOffSourceEmitsLessThanGreedy(t *testing.T) {
+	g := GreedySource{Sigma: 1, Rho: 0.25, Access: 1}
+	o := OnOffSource{Sigma: 1, Rho: 0.25, Access: 1, On: 1, Off: 4}
+	if len(o.Times(0.1, 100)) >= len(g.Times(0.1, 100)) {
+		t.Error("on-off source should emit fewer packets than greedy")
+	}
+}
+
+func TestCBRSource(t *testing.T) {
+	src := CBRSource{Rate: 0.5, Offset: 1}
+	times := src.Times(0.25, 4)
+	want := []float64{1, 1.5, 2, 2.5, 3, 3.5}
+	if len(times) != len(want) {
+		t.Fatalf("got %v, want %v", times, want)
+	}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-9 {
+			t.Fatalf("got %v, want %v", times, want)
+		}
+	}
+	if got := (CBRSource{}).Times(1, 10); got != nil {
+		t.Error("zero-rate CBR should emit nothing")
+	}
+}
+
+func TestSourcesMonotone(t *testing.T) {
+	srcs := []Source{
+		GreedySource{Sigma: 2, Rho: 0.5, Access: 1},
+		OnOffSource{Sigma: 2, Rho: 0.5, Access: 1, On: 3, Off: 2, Phase: 1},
+		CBRSource{Rate: 0.3},
+	}
+	for i, s := range srcs {
+		times := s.Times(0.2, 40)
+		for j := 1; j < len(times); j++ {
+			if times[j] < times[j-1]-1e-12 {
+				t.Errorf("source %d: emissions not monotone at %d", i, j)
+			}
+		}
+	}
+}

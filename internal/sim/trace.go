@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+
+	"delaycalc/internal/traffic"
+)
+
+// TraceSource replays a recorded frame trace periodically: each frame's
+// bits arrive at the source at its frame instant and are emitted through
+// the access line at the configured rate (unlimited when Access is 0).
+// Combined with traffic.Trace.Envelope or FitTokenBucket, it exercises the
+// analyzers on realistic VBR video workloads.
+type TraceSource struct {
+	Trace  traffic.Trace
+	Access float64
+}
+
+// Times implements Source.
+func (ts TraceSource) Times(packetSize, horizon float64) []float64 {
+	if packetSize <= 0 {
+		panic("sim: non-positive packet size")
+	}
+	if err := ts.Trace.Validate(); err != nil {
+		panic("sim: " + err.Error())
+	}
+	a := ts.Access
+	if a <= 0 {
+		a = math.Inf(1)
+	}
+	var (
+		times []float64
+		buf   float64 // bits queued at the source
+		frac  float64 // bits already transmitted toward the next packet
+		cur   float64 // transmission clock
+	)
+	// drainUntil transmits queued bits at the access rate, emitting a
+	// packet whenever packetSize bits have left, stopping at the limit.
+	drainUntil := func(limit float64) {
+		if math.IsInf(a, 1) {
+			for buf+frac >= packetSize {
+				take := packetSize - frac
+				buf -= take
+				frac = 0
+				if cur < limit || cur < horizon {
+					times = append(times, cur)
+				}
+			}
+			return
+		}
+		for buf > 0 && cur < limit {
+			need := packetSize - frac
+			if buf < need {
+				dt := buf / a
+				if cur+dt > limit {
+					sent := (limit - cur) * a
+					buf -= sent
+					frac += sent
+					cur = limit
+					return
+				}
+				cur += dt
+				frac += buf
+				buf = 0
+				return
+			}
+			dt := need / a
+			if cur+dt > limit {
+				sent := (limit - cur) * a
+				buf -= sent
+				frac += sent
+				cur = limit
+				return
+			}
+			cur += dt
+			buf -= need
+			frac = 0
+			times = append(times, cur)
+		}
+	}
+
+	n := len(ts.Trace.Frames)
+	for frame := 0; ; frame++ {
+		ft := float64(frame) * ts.Trace.Interval
+		if ft >= horizon {
+			break
+		}
+		drainUntil(ft)
+		if cur < ft {
+			cur = ft
+		}
+		buf += ts.Trace.Frames[frame%n]
+	}
+	drainUntil(horizon)
+	// Clip emissions beyond the horizon (the infinite-access branch can
+	// stamp them exactly at it).
+	for len(times) > 0 && times[len(times)-1] >= horizon {
+		times = times[:len(times)-1]
+	}
+	return times
+}

@@ -1,0 +1,196 @@
+// Package textplot renders simple ASCII line charts for the experiment
+// harness, so figure reproductions can be inspected straight from a
+// terminal or a CI log without plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles through distinguishable glyphs per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series into a width x height character grid with axis
+// annotations. Y values of +Inf are skipped. The chart uses a linear Y
+// axis; see PlotLog for a log axis.
+func Plot(title string, series []Series, width, height int) string {
+	return plot(title, series, width, height, false)
+}
+
+// PlotLog renders with a logarithmic Y axis (all finite Y must be > 0).
+func PlotLog(title string, series []Series, width, height int) string {
+	return plot(title, series, width, height, true)
+}
+
+func plot(title string, series []Series, width, height int, logY bool) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			if logY && y <= 0 {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if math.IsInf(minX, 1) {
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	ty := func(y float64) float64 {
+		if logY {
+			return math.Log(y)
+		}
+		return y
+	}
+	loY, hiY := ty(minY), ty(maxY)
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsInf(y, 0) || math.IsNaN(y) || (logY && y <= 0) {
+				continue
+			}
+			col := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((ty(y) - loY) / (hiY - loY) * float64(height-1)))
+			grid[height-1-row][col] = m
+		}
+	}
+	axis := "linear"
+	if logY {
+		axis = "log"
+	}
+	for r, line := range grid {
+		yTop := hiY - (hiY-loY)*float64(r)/float64(height-1)
+		label := yTop
+		if logY {
+			label = math.Exp(yTop)
+		}
+		fmt.Fprintf(&b, "%10.3f |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g   (y: %s)\n", "", width/2, minX, width-width/2, maxX, axis)
+	names := make([]string, 0, len(series))
+	for si, s := range series {
+		names = append(names, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(names, "   "))
+	return b.String()
+}
+
+// Table renders series as an aligned text table: one row per distinct X,
+// one column per series.
+func Table(series []Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s", "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%12.4g", x)
+		for _, s := range series {
+			v := math.NaN()
+			for i := range s.X {
+				if s.X[i] == x {
+					v = s.Y[i]
+					break
+				}
+			}
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, " %16s", "-")
+			} else {
+				fmt.Fprintf(&b, " %16.6g", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders series in comma-separated form with an x column followed by
+// one column per series (empty cells where a series lacks the x).
+func CSV(series []Series) string {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range series {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			b.WriteString(",")
+			for i := range s.X {
+				if s.X[i] == x {
+					fmt.Fprintf(&b, "%g", s.Y[i])
+					break
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() []Series {
+	return []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 2, 4}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 2, 1}},
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot("demo", sample(), 40, 10)
+	for _, want := range []string{"demo", "* a", "o b", "(y: linear)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing")
+	}
+}
+
+func TestPlotLog(t *testing.T) {
+	out := PlotLog("log demo", sample(), 40, 10)
+	if !strings.Contains(out, "(y: log)") {
+		t.Errorf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestPlotSkipsInfiniteAndEmpty(t *testing.T) {
+	s := []Series{{Name: "inf", X: []float64{0, 1}, Y: []float64{math.Inf(1), math.NaN()}}}
+	out := Plot("empty", s, 40, 10)
+	if !strings.Contains(out, "no finite data") {
+		t.Errorf("expected empty-data notice:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	out := Plot("tiny", sample(), 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Errorf("plot too small:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	s := []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}}
+	out := Plot("flat", s, 30, 6)
+	if !strings.Contains(out, "flat") {
+		t.Errorf("constant series not rendered:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table(sample())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 x values
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[0], "b") {
+		t.Errorf("header missing series names: %q", lines[0])
+	}
+}
+
+func TestTableMissingCell(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{1, 2}},
+		{Name: "b", X: []float64{1}, Y: []float64{9}},
+	}
+	out := Table(s)
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing cell not marked:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV(sample())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "x,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1,4" {
+		t.Errorf("row = %q", lines[1])
+	}
+	if len(lines) != 4 {
+		t.Errorf("%d lines", len(lines))
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	s := []Series{{Name: "a,b", X: []float64{0}, Y: []float64{1}}}
+	out := CSV(s)
+	if !strings.Contains(out, "a;b") {
+		t.Errorf("comma in name not escaped: %q", out)
+	}
+}

@@ -1,0 +1,143 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/traffic"
+)
+
+func demand(name, from, to string) Demand {
+	return Demand{
+		Name: name, From: from, To: to,
+		Bucket:     traffic.TokenBucket{Sigma: 1, Rho: 0.05},
+		AccessRate: 1,
+	}
+}
+
+func TestFabricRouteLine(t *testing.T) {
+	f := LineFabric(4, 1, server.FIFO)
+	path, err := f.Route("n0", "n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path %v, want 3 hops", path)
+	}
+	// Every hop must chain: To of one == From of next.
+	for i := 0; i+1 < len(path); i++ {
+		if f.Links[path[i]].To != f.Links[path[i+1]].From {
+			t.Fatalf("path does not chain: %v", path)
+		}
+	}
+	if f.Links[path[0]].From != "n0" || f.Links[path[2]].To != "n3" {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+}
+
+func TestFabricRouteErrors(t *testing.T) {
+	f := LineFabric(3, 1, server.FIFO)
+	if _, err := f.Route("n0", "n0"); err == nil {
+		t.Error("expected error for self demand")
+	}
+	if _, err := f.Route("nowhere", "n1"); err == nil {
+		t.Error("expected error for unknown source")
+	}
+	// Unreachable: one-way fabric.
+	one := &Fabric{Links: []Link{{From: "a", To: "b", Capacity: 1}}}
+	if _, err := one.Route("b", "a"); err == nil {
+		t.Error("expected error for unreachable destination")
+	}
+}
+
+func TestFabricNetwork(t *testing.T) {
+	f := LineFabric(4, 1, server.FIFO)
+	net, err := f.Network([]Demand{
+		demand("fwd", "n0", "n3"),
+		demand("mid", "n1", "n2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Servers) != len(f.Links) {
+		t.Fatalf("%d servers for %d links", len(net.Servers), len(f.Links))
+	}
+	if len(net.Connections[0].Path) != 3 || len(net.Connections[1].Path) != 1 {
+		t.Fatalf("paths %v / %v", net.Connections[0].Path, net.Connections[1].Path)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Server names identify the links.
+	if !strings.Contains(net.Servers[net.Connections[0].Path[0]].Name, "n0>n1") {
+		t.Errorf("server name %q", net.Servers[net.Connections[0].Path[0]].Name)
+	}
+}
+
+func TestFabricOppositeDemandsStayFeedforward(t *testing.T) {
+	// Forward and reverse demands use disjoint directed links, so the
+	// route graph stays acyclic.
+	f := LineFabric(3, 1, server.FIFO)
+	net, err := f.Network([]Demand{
+		demand("fwd", "n0", "n2"),
+		demand("rev", "n2", "n0"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.IsFeedforward() {
+		t.Error("opposite line demands should be feedforward")
+	}
+}
+
+func TestFabricStar(t *testing.T) {
+	f := StarFabric(3, 1, server.FIFO)
+	net, err := f.Network([]Demand{
+		demand("a", "l0", "l1"),
+		demand("b", "l2", "l0"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range net.Connections {
+		if len(c.Path) != 2 {
+			t.Errorf("star path %v, want 2 hops (up, down)", c.Path)
+		}
+	}
+}
+
+func TestFabricNetworkErrors(t *testing.T) {
+	if _, err := (&Fabric{}).Network(nil); err == nil {
+		t.Error("expected error for empty fabric")
+	}
+	loop := &Fabric{Links: []Link{{From: "a", To: "a", Capacity: 1}}}
+	if _, err := loop.Network(nil); err == nil {
+		t.Error("expected error for self-loop link")
+	}
+	f := LineFabric(2, 1, server.FIFO)
+	if _, err := f.Network([]Demand{demand("x", "n0", "n9")}); err == nil {
+		t.Error("expected error for unroutable demand")
+	}
+}
+
+func TestFabricAnalyzable(t *testing.T) {
+	// End to end: fabric -> network -> both analyzers agree on structure.
+	f := LineFabric(5, 1, server.FIFO)
+	var demands []Demand
+	demands = append(demands, demand("long", "n0", "n4"))
+	for i := 0; i < 4; i++ {
+		demands = append(demands, demand(
+			"seg"+string(rune('0'+i)),
+			"n"+string(rune('0'+i)),
+			"n"+string(rune('1'+i)),
+		))
+	}
+	net, err := f.Network(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(net.ConnectionsAt(net.Connections[0].Path[0])); got != 2 {
+		t.Errorf("first link carries %d connections, want 2", got)
+	}
+}

@@ -1,0 +1,315 @@
+// Package topo models the network under analysis: a set of servers (switch
+// output ports), a set of connections with fixed routes across those
+// servers, and the structural checks the paper's algorithms require —
+// in particular that the connection routes are feedforward (cycle-free), a
+// precondition of Algorithm Integrated stated in the paper's conclusion.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"delaycalc/internal/minplus"
+	"delaycalc/internal/server"
+	"delaycalc/internal/traffic"
+)
+
+// Connection is one unidirectional flow with a token-bucket-regulated
+// source and a fixed route through the network.
+type Connection struct {
+	Name   string
+	Bucket traffic.TokenBucket
+	// AccessRate caps how fast source traffic can physically enter the
+	// network (the speed of the access line). Zero means uncapped (a pure
+	// token-bucket burst arrives instantaneously).
+	AccessRate float64
+	// Path lists the indices (into Network.Servers) of the servers the
+	// connection traverses, in order.
+	Path []int
+	// Priority is the static-priority class (lower = more urgent); only
+	// meaningful at StaticPriority servers.
+	Priority int
+	// Rate is the reserved service rate at GuaranteedRate servers.
+	Rate float64
+	// Deadline is the end-to-end delay requirement used by admission
+	// control; zero means best effort.
+	Deadline float64
+	// Envelope optionally replaces the token-bucket source model with an
+	// arbitrary arrival curve, e.g. a trace-derived empirical envelope
+	// (traffic.Trace.Envelope). When set, Bucket.Rho must equal the
+	// envelope's long-run rate (its final slope), which keeps
+	// utilization and stability accounting consistent.
+	Envelope *minplus.Curve
+}
+
+// SourceEnvelope returns the arrival curve of the connection at its entry
+// point: the custom envelope when one is set, otherwise the token bucket,
+// in both cases limited by the access line rate (the pointwise minimum
+// with the line is a valid — if slightly loose — model of the access
+// multiplexing).
+func (c Connection) SourceEnvelope() minplus.Curve {
+	if c.Envelope != nil {
+		env := *c.Envelope
+		if c.AccessRate > 0 {
+			env = minplus.Min(minplus.Rate(c.AccessRate), env)
+		}
+		return env
+	}
+	if c.AccessRate > 0 {
+		return c.Bucket.EnvelopeCapped(c.AccessRate)
+	}
+	return c.Bucket.Envelope()
+}
+
+// Validate reports whether the connection is self-consistent against a
+// server count.
+func (c Connection) Validate(nServers int) error {
+	if err := c.Bucket.Validate(); err != nil {
+		return fmt.Errorf("connection %q: %w", c.Name, err)
+	}
+	if c.AccessRate < 0 {
+		return fmt.Errorf("connection %q: negative access rate %g", c.Name, c.AccessRate)
+	}
+	if c.AccessRate > 0 && c.Bucket.Rho > c.AccessRate {
+		return fmt.Errorf("connection %q: sustained rate %g exceeds access rate %g", c.Name, c.Bucket.Rho, c.AccessRate)
+	}
+	if len(c.Path) == 0 {
+		return fmt.Errorf("connection %q: empty path", c.Name)
+	}
+	seen := make(map[int]bool, len(c.Path))
+	for _, s := range c.Path {
+		if s < 0 || s >= nServers {
+			return fmt.Errorf("connection %q: path references server %d of %d", c.Name, s, nServers)
+		}
+		if seen[s] {
+			return fmt.Errorf("connection %q: path visits server %d twice", c.Name, s)
+		}
+		seen[s] = true
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("connection %q: negative reserved rate %g", c.Name, c.Rate)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("connection %q: negative deadline %g", c.Name, c.Deadline)
+	}
+	if c.Envelope != nil {
+		if !c.Envelope.IsNonDecreasing() {
+			return fmt.Errorf("connection %q: custom envelope must be non-decreasing", c.Name)
+		}
+		if math.Abs(c.Envelope.FinalSlope()-c.Bucket.Rho) > 1e-9*(1+math.Abs(c.Bucket.Rho)) {
+			return fmt.Errorf("connection %q: envelope long-run rate %g disagrees with Bucket.Rho %g",
+				c.Name, c.Envelope.FinalSlope(), c.Bucket.Rho)
+		}
+	}
+	return nil
+}
+
+// Network is the complete model handed to an analyzer.
+type Network struct {
+	Servers     []server.Server
+	Connections []Connection
+}
+
+// Validate checks servers, connections, and the feedforward property.
+func (n *Network) Validate() error {
+	if len(n.Servers) == 0 {
+		return fmt.Errorf("topo: network has no servers")
+	}
+	names := make(map[string]bool, len(n.Servers))
+	for i, s := range n.Servers {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("topo: server %d: %w", i, err)
+		}
+		if s.Name != "" {
+			if names[s.Name] {
+				return fmt.Errorf("topo: duplicate server name %q", s.Name)
+			}
+			names[s.Name] = true
+		}
+	}
+	cnames := make(map[string]bool, len(n.Connections))
+	for i, c := range n.Connections {
+		if err := c.Validate(len(n.Servers)); err != nil {
+			return fmt.Errorf("topo: connection %d: %w", i, err)
+		}
+		if c.Name != "" {
+			if cnames[c.Name] {
+				return fmt.Errorf("topo: duplicate connection name %q", c.Name)
+			}
+			cnames[c.Name] = true
+		}
+	}
+	if _, err := n.TopologicalOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ConnectionsAt returns the indices of connections whose path includes
+// server s.
+func (n *Network) ConnectionsAt(s int) []int {
+	var out []int
+	for i, c := range n.Connections {
+		for _, hop := range c.Path {
+			if hop == s {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HopIndex returns the position of server s in connection c's path, or -1.
+func (n *Network) HopIndex(c, s int) int {
+	for i, hop := range n.Connections[c].Path {
+		if hop == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// edges returns the server precedence relation induced by connection
+// routes: u -> v whenever some connection visits u immediately before v.
+func (n *Network) edges() map[int]map[int]bool {
+	e := make(map[int]map[int]bool)
+	for _, c := range n.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			u, v := c.Path[i], c.Path[i+1]
+			if e[u] == nil {
+				e[u] = make(map[int]bool)
+			}
+			e[u][v] = true
+		}
+	}
+	return e
+}
+
+// TopologicalOrder returns the servers sorted so that every connection
+// visits them in increasing order, or an error when the route graph has a
+// cycle (the network is not feedforward). Ties are broken by server index
+// for determinism.
+func (n *Network) TopologicalOrder() ([]int, error) {
+	e := n.edges()
+	indeg := make([]int, len(n.Servers))
+	for _, outs := range e {
+		for v := range outs {
+			indeg[v]++
+		}
+	}
+	ready := make([]int, 0, len(n.Servers))
+	for i := range n.Servers {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	sort.Ints(ready)
+	order := make([]int, 0, len(n.Servers))
+	for len(ready) > 0 {
+		u := ready[0]
+		ready = ready[1:]
+		order = append(order, u)
+		var next []int
+		for v := range e[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				next = append(next, v)
+			}
+		}
+		sort.Ints(next)
+		ready = append(ready, next...)
+		sort.Ints(ready)
+	}
+	if len(order) != len(n.Servers) {
+		return nil, fmt.Errorf("topo: connection routes induce a cycle; the network is not feedforward")
+	}
+	return order, nil
+}
+
+// IsFeedforward reports whether the route graph is acyclic.
+func (n *Network) IsFeedforward() bool {
+	_, err := n.TopologicalOrder()
+	return err == nil
+}
+
+// Utilization returns, per server, the sum of sustained rates crossing it
+// divided by its capacity.
+func (n *Network) Utilization() []float64 {
+	u := make([]float64, len(n.Servers))
+	for _, c := range n.Connections {
+		for _, s := range c.Path {
+			u[s] += c.Bucket.Rho
+		}
+	}
+	for i := range u {
+		u[i] /= n.Servers[i].Capacity
+	}
+	return u
+}
+
+// Stable reports whether every server's long-run input rate is strictly
+// below its capacity, the basic feasibility condition for finite delay
+// bounds.
+func (n *Network) Stable() bool {
+	for _, u := range n.Utilization() {
+		if u >= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxUtilization returns the highest per-server utilization.
+func (n *Network) MaxUtilization() float64 {
+	m := 0.0
+	for _, u := range n.Utilization() {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// DOT renders the route graph in Graphviz format: servers as boxes, one
+// edge per consecutive hop pair, labeled with the connections using it.
+func (n *Network) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph network {\n  rankdir=LR;\n")
+	for i, s := range n.Servers {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("S%d", i)
+		}
+		fmt.Fprintf(&b, "  s%d [shape=box,label=%q];\n", i, fmt.Sprintf("%s\nC=%g %s", name, s.Capacity, s.Discipline))
+	}
+	type edgeKey struct{ u, v int }
+	labels := make(map[edgeKey][]string)
+	for ci, c := range n.Connections {
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", ci)
+		}
+		for i := 0; i+1 < len(c.Path); i++ {
+			k := edgeKey{c.Path[i], c.Path[i+1]}
+			labels[k] = append(labels[k], name)
+		}
+	}
+	keys := make([]edgeKey, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].u != keys[j].u {
+			return keys[i].u < keys[j].u
+		}
+		return keys[i].v < keys[j].v
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", k.u, k.v, strings.Join(labels[k], ","))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

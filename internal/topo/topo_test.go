@@ -1,0 +1,269 @@
+package topo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/traffic"
+)
+
+func validNet() *Network {
+	return &Network{
+		Servers: []server.Server{
+			{Name: "a", Capacity: 1, Discipline: server.FIFO},
+			{Name: "b", Capacity: 1, Discipline: server.FIFO},
+		},
+		Connections: []Connection{
+			{Name: "c0", Bucket: traffic.TokenBucket{Sigma: 1, Rho: 0.2}, AccessRate: 1, Path: []int{0, 1}},
+			{Name: "c1", Bucket: traffic.TokenBucket{Sigma: 1, Rho: 0.2}, AccessRate: 1, Path: []int{1}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validNet().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Network)
+	}{
+		{"no servers", func(n *Network) { n.Servers = nil }},
+		{"bad capacity", func(n *Network) { n.Servers[0].Capacity = 0 }},
+		{"dup server name", func(n *Network) { n.Servers[1].Name = "a" }},
+		{"dup conn name", func(n *Network) { n.Connections[1].Name = "c0" }},
+		{"empty path", func(n *Network) { n.Connections[0].Path = nil }},
+		{"path out of range", func(n *Network) { n.Connections[0].Path = []int{0, 7} }},
+		{"repeated server in path", func(n *Network) { n.Connections[0].Path = []int{0, 1, 0} }},
+		{"negative sigma", func(n *Network) { n.Connections[0].Bucket.Sigma = -1 }},
+		{"rho above access", func(n *Network) { n.Connections[0].Bucket.Rho = 2 }},
+		{"negative deadline", func(n *Network) { n.Connections[0].Deadline = -1 }},
+		{"negative latency", func(n *Network) { n.Servers[0].Latency = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := validNet()
+			tc.mut(n)
+			if err := n.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	n := validNet()
+	n.Connections = append(n.Connections, Connection{
+		Name: "rev", Bucket: traffic.TokenBucket{Sigma: 1, Rho: 0.1}, AccessRate: 1, Path: []int{1, 0},
+	})
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "feedforward") {
+		t.Fatalf("expected feedforward error, got %v", err)
+	}
+	if n.IsFeedforward() {
+		t.Error("IsFeedforward should report false")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	n := validNet()
+	order, err := n.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, s := range order {
+		pos[s] = i
+	}
+	if pos[0] > pos[1] {
+		t.Errorf("server 0 must precede server 1 in %v", order)
+	}
+	if len(order) != 2 {
+		t.Errorf("order covers %d servers, want 2", len(order))
+	}
+}
+
+func TestConnectionsAtAndHopIndex(t *testing.T) {
+	n := validNet()
+	at1 := n.ConnectionsAt(1)
+	if len(at1) != 2 {
+		t.Fatalf("ConnectionsAt(1) = %v, want both connections", at1)
+	}
+	if got := n.HopIndex(0, 1); got != 1 {
+		t.Errorf("HopIndex(c0, s1) = %d, want 1", got)
+	}
+	if got := n.HopIndex(1, 0); got != -1 {
+		t.Errorf("HopIndex(c1, s0) = %d, want -1", got)
+	}
+}
+
+func TestUtilizationAndStability(t *testing.T) {
+	n := validNet()
+	u := n.Utilization()
+	if math.Abs(u[0]-0.2) > 1e-12 || math.Abs(u[1]-0.4) > 1e-12 {
+		t.Errorf("utilization = %v, want [0.2 0.4]", u)
+	}
+	if !n.Stable() {
+		t.Error("network should be stable")
+	}
+	if math.Abs(n.MaxUtilization()-0.4) > 1e-12 {
+		t.Errorf("max utilization = %g", n.MaxUtilization())
+	}
+	n.Connections[0].Bucket.Rho = 0.9
+	if n.Stable() {
+		t.Error("network should be unstable at rho sum 1.1")
+	}
+}
+
+func TestSourceEnvelope(t *testing.T) {
+	c := Connection{Bucket: traffic.TokenBucket{Sigma: 2, Rho: 0.5}, AccessRate: 1}
+	env := c.SourceEnvelope()
+	if !env.IsContinuous() {
+		t.Error("capped source envelope should be continuous")
+	}
+	c.AccessRate = 0
+	env = c.SourceEnvelope()
+	if env.IsContinuous() {
+		t.Error("uncapped source envelope should jump at 0")
+	}
+}
+
+func TestPaperTandemStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		net, err := PaperTandem(n, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(net.Servers) != n {
+			t.Fatalf("n=%d: %d servers", n, len(net.Servers))
+		}
+		if got, want := len(net.Connections), 2*n+1; got != want {
+			t.Fatalf("n=%d: %d connections, want %d (2n+1)", n, got, want)
+		}
+		if got := len(net.Connections[0].Path); got != n {
+			t.Errorf("conn0 path length %d, want %d", got, n)
+		}
+		// Paper: every middle link except the first carries exactly four
+		// connections.
+		for s := 0; s < n; s++ {
+			k := len(net.ConnectionsAt(s))
+			want := 4
+			if s == 0 {
+				want = 3
+			}
+			if n == 1 {
+				want = 3
+			}
+			if k != want {
+				t.Errorf("n=%d server %d carries %d connections, want %d", n, s, k, want)
+			}
+		}
+		// Interior utilization must equal the requested load.
+		u := net.Utilization()
+		for s := 1; s < n; s++ {
+			if math.Abs(u[s]-0.6) > 1e-12 {
+				t.Errorf("server %d utilization %g, want 0.6", s, u[s])
+			}
+		}
+	}
+}
+
+func TestPaperTandemRejectsBadLoad(t *testing.T) {
+	for _, load := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := PaperTandem(3, load); err == nil {
+			t.Errorf("load %g: expected error", load)
+		}
+	}
+	if _, err := PaperTandem(0, 0.5); err == nil {
+		t.Error("0 switches: expected error")
+	}
+}
+
+func TestParkingLot(t *testing.T) {
+	net, err := ParkingLot(4, 1, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Connections) != 5 {
+		t.Fatalf("%d connections, want 5", len(net.Connections))
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		if got := len(net.ConnectionsAt(s)); got != 2 {
+			t.Errorf("server %d carries %d, want 2", s, got)
+		}
+	}
+}
+
+func TestSinkTree(t *testing.T) {
+	net, err := SinkTree(3, 1, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Servers) != 7 {
+		t.Fatalf("%d servers, want 7", len(net.Servers))
+	}
+	if len(net.Connections) != 8 {
+		t.Fatalf("%d connections, want 8 (two per leaf)", len(net.Connections))
+	}
+	// The root carries everything.
+	if got := len(net.ConnectionsAt(0)); got != 8 {
+		t.Errorf("root carries %d, want 8", got)
+	}
+	// Every path ends at the root.
+	for i, c := range net.Connections {
+		if c.Path[len(c.Path)-1] != 0 {
+			t.Errorf("connection %d does not end at the root: %v", i, c.Path)
+		}
+	}
+}
+
+func TestRandomFeedforward(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		net, err := RandomFeedforward(5, 8, 0.6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.IsFeedforward() {
+			t.Errorf("seed %d: not feedforward", seed)
+		}
+		if !net.Stable() {
+			t.Errorf("seed %d: unstable (max util %g)", seed, net.MaxUtilization())
+		}
+		if net.MaxUtilization() > 0.6+1e-9 {
+			t.Errorf("seed %d: utilization %g exceeds request", seed, net.MaxUtilization())
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	net, err := PaperTandem(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := net.DOT()
+	for _, want := range []string{"digraph", "s0 -> s1", "s1 -> s2", "conn0"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestTandemWithStaticPriority(t *testing.T) {
+	net, err := Tandem(TandemSpec{
+		Switches: 3, Sigma: 1, Rho: 0.1, Capacity: 1,
+		Discipline: server.StaticPriority, Priority0: 0, PriorityCross: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Connections[0].Priority != 0 || net.Connections[1].Priority != 1 {
+		t.Error("priorities not applied")
+	}
+}

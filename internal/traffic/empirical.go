@@ -1,0 +1,192 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"delaycalc/internal/minplus"
+)
+
+// Trace is a recorded variable-bit-rate source: the size in bits of each
+// frame, emitted at a fixed frame interval. The classic example is an
+// MPEG elementary stream, whose I/P/B structure makes single token buckets
+// a poor fit and motivated multi-segment "empirical envelopes" (D-BIND and
+// the deterministic VBR-video literature the paper cites).
+type Trace struct {
+	Frames   []float64 // frame sizes in bits
+	Interval float64   // seconds between frame starts
+}
+
+// Validate reports whether the trace is usable.
+func (tr Trace) Validate() error {
+	if len(tr.Frames) == 0 {
+		return fmt.Errorf("traffic: empty trace")
+	}
+	if tr.Interval <= 0 {
+		return fmt.Errorf("traffic: non-positive frame interval %g", tr.Interval)
+	}
+	for i, f := range tr.Frames {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("traffic: bad frame size %g at %d", f, i)
+		}
+	}
+	return nil
+}
+
+// TotalBits returns the sum of all frame sizes.
+func (tr Trace) TotalBits() float64 {
+	s := 0.0
+	for _, f := range tr.Frames {
+		s += f
+	}
+	return s
+}
+
+// MeanRate returns the long-run rate of the trace.
+func (tr Trace) MeanRate() float64 {
+	return tr.TotalBits() / (float64(len(tr.Frames)) * tr.Interval)
+}
+
+// PeakFrame returns the largest frame.
+func (tr Trace) PeakFrame() float64 {
+	p := 0.0
+	for _, f := range tr.Frames {
+		if f > p {
+			p = f
+		}
+	}
+	return p
+}
+
+// WindowSums returns, for every window length k = 1..len(Frames), the
+// maximum total bits in any k consecutive frames of the trace played
+// periodically — the exact cyclic "empirical envelope" at frame
+// granularity. Cyclic (wrap-around) windows matter: a burst at the end of
+// the trace adjacent to the burst at its start is a real window of the
+// repeated stream, and an envelope built from within-trace windows only
+// would not dominate it.
+func (tr Trace) WindowSums() []float64 {
+	n := len(tr.Frames)
+	// Prefix sums over two concatenated copies cover every cyclic window
+	// of length at most n.
+	prefix := make([]float64, 2*n+1)
+	for i := 0; i < 2*n; i++ {
+		prefix[i+1] = prefix[i] + tr.Frames[i%n]
+	}
+	out := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		best := 0.0
+		for i := 0; i < n; i++ {
+			if s := prefix[i+k] - prefix[i]; s > best {
+				best = s
+			}
+		}
+		out[k-1] = best
+	}
+	return out
+}
+
+// Envelope returns a concave piecewise-linear arrival curve that dominates
+// the trace played periodically: the upper concave hull of the cyclic
+// window sums (k * Interval, WindowSums[k]), with a final slope of exactly
+// the mean rate (trailing hull segments flatter than the mean are
+// dropped). Domination over arbitrarily long windows follows because a
+// window of q*n + r frames sums to q*TotalBits plus one cyclic r-window,
+// and every hull slope is at least the mean rate, so
+// env(x + q*n*T) >= env(x) + q*TotalBits. The envelope's value for any
+// interval shorter than one frame time is the peak frame (a frame arrives
+// atomically at its instant).
+func (tr Trace) Envelope() (minplus.Curve, error) {
+	if err := tr.Validate(); err != nil {
+		return minplus.Curve{}, err
+	}
+	sums := tr.WindowSums()
+	n := len(sums)
+	// k frames (instants spaced Interval apart) fit in any window wider
+	// than (k-1)*Interval, so the hull point for k frames sits at
+	// x = (k-1)*Interval. k = 1 lands at the origin: the jump to the peak
+	// frame.
+	type pt struct{ x, y float64 }
+	pts := []pt{{0, sums[0]}}
+	for k := 2; k <= n; k++ {
+		pts = append(pts, pt{float64(k-1) * tr.Interval, sums[k-1]})
+	}
+	// Tail slope: the repetition rate — total bits per (n * Interval).
+	tail := tr.TotalBits() / (float64(n) * tr.Interval)
+	// Upper concave hull (monotone chain on slopes, anchored at pts[0]).
+	hull := []pt{pts[0]}
+	for _, p := range pts[1:] {
+		for len(hull) >= 2 {
+			a, b := hull[len(hull)-2], hull[len(hull)-1]
+			s1 := (b.y - a.y) / (b.x - a.x)
+			s2 := (p.y - b.y) / (p.x - b.x)
+			if s2 <= s1+1e-12 {
+				break
+			}
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Drop trailing hull points whose incoming slope is below the tail
+	// rate: the envelope must end at least as steep as the repetition
+	// rate, and concavity requires slopes to be non-increasing.
+	for len(hull) >= 2 {
+		a, b := hull[len(hull)-2], hull[len(hull)-1]
+		if (b.y-a.y)/(b.x-a.x) >= tail-1e-12 {
+			break
+		}
+		hull = hull[:len(hull)-1]
+	}
+	cpts := []minplus.Point{{X: 0, Y: 0}}
+	for _, p := range hull {
+		cpts = append(cpts, minplus.Point{X: p.x, Y: p.y})
+	}
+	return minplus.New(cpts, tail), nil
+}
+
+// FitTokenBucket returns the minimal bucket depth sigma such that a
+// (sigma, rho) token bucket dominates the repeated trace, for a given
+// sustained rate rho >= MeanRate:
+//
+//	sigma(rho) = max_k { WindowSums[k] - rho * (k-1) * Interval },
+//
+// (k frames fit in a window of width just over (k-1)*Interval), clamped
+// below by the peak frame (a whole frame arrives at one instant).
+func (tr Trace) FitTokenBucket(rho float64) (TokenBucket, error) {
+	if err := tr.Validate(); err != nil {
+		return TokenBucket{}, err
+	}
+	if rho < tr.MeanRate() {
+		return TokenBucket{}, fmt.Errorf("traffic: rate %g below trace mean rate %g", rho, tr.MeanRate())
+	}
+	sigma := tr.PeakFrame()
+	for k, s := range tr.WindowSums() {
+		// Index k holds the sum of k+1 frames, spanning k intervals.
+		if v := s - rho*float64(k)*tr.Interval; v > sigma {
+			sigma = v
+		}
+	}
+	return TokenBucket{Sigma: sigma, Rho: rho}, nil
+}
+
+// SyntheticGOP builds a deterministic MPEG-like trace: groups of pictures
+// of the given length where the first frame (I) is iSize bits, every
+// third following frame (P) is pSize, and the rest (B) are bSize. It is
+// the standard shape used to exercise VBR-video envelopes without real
+// trace data.
+func SyntheticGOP(gops, gopLen int, iSize, pSize, bSize, interval float64) Trace {
+	var frames []float64
+	for g := 0; g < gops; g++ {
+		for i := 0; i < gopLen; i++ {
+			switch {
+			case i == 0:
+				frames = append(frames, iSize)
+			case i%3 == 0:
+				frames = append(frames, pSize)
+			default:
+				frames = append(frames, bSize)
+			}
+		}
+	}
+	return Trace{Frames: frames, Interval: interval}
+}

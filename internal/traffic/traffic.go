@@ -1,0 +1,105 @@
+// Package traffic defines the source-traffic models and per-connection
+// descriptors used by the delay analyzers: token buckets, peak-rate-limited
+// TSpecs, general piecewise-linear envelopes, and the burstiness
+// propagation rules that track how an envelope deforms as traffic crosses
+// servers ("b'(I) = b(I + d)" in the paper's notation).
+package traffic
+
+import (
+	"fmt"
+
+	"delaycalc/internal/minplus"
+)
+
+// TokenBucket describes a (sigma, rho) leaky-bucket regulator: at most
+// Sigma + Rho*I bits may enter the network in any interval of length I.
+type TokenBucket struct {
+	Sigma float64 // bucket depth (burst), in bits
+	Rho   float64 // token rate (sustained rate), in bits per second
+}
+
+// Validate reports whether the parameters are usable.
+func (tb TokenBucket) Validate() error {
+	if tb.Sigma < 0 {
+		return fmt.Errorf("traffic: negative burst %g", tb.Sigma)
+	}
+	if tb.Rho < 0 {
+		return fmt.Errorf("traffic: negative rate %g", tb.Rho)
+	}
+	return nil
+}
+
+// Envelope returns the pure token-bucket arrival curve min{I==0 ? 0 :
+// Sigma + Rho*I}.
+func (tb TokenBucket) Envelope() minplus.Curve {
+	return minplus.TokenBucket(tb.Sigma, tb.Rho)
+}
+
+// EnvelopeCapped returns the arrival curve of the bucket behind an access
+// link of capacity c: min{c*I, Sigma + Rho*I}. This is the source model of
+// the paper's evaluation (traffic cannot enter faster than the line rate).
+func (tb TokenBucket) EnvelopeCapped(c float64) minplus.Curve {
+	return minplus.TokenBucketCapped(tb.Sigma, tb.Rho, c)
+}
+
+// String renders the bucket as "(sigma, rho)".
+func (tb TokenBucket) String() string {
+	return fmt.Sprintf("(%g, %g)", tb.Sigma, tb.Rho)
+}
+
+// TSpec is the IETF-style traffic specification: a token bucket plus a peak
+// rate and maximum packet size. Its envelope is
+// min{M + P*I, Sigma + Rho*I}.
+type TSpec struct {
+	TokenBucket
+	Peak    float64 // peak rate P >= Rho
+	MaxUnit float64 // maximum packet size M
+}
+
+// Validate reports whether the TSpec is self-consistent.
+func (ts TSpec) Validate() error {
+	if err := ts.TokenBucket.Validate(); err != nil {
+		return err
+	}
+	if ts.Peak < ts.Rho {
+		return fmt.Errorf("traffic: peak rate %g below sustained rate %g", ts.Peak, ts.Rho)
+	}
+	if ts.MaxUnit < 0 {
+		return fmt.Errorf("traffic: negative maximum unit %g", ts.MaxUnit)
+	}
+	return nil
+}
+
+// Envelope returns min{M + P*I, Sigma + Rho*I} (with the value 0 at I=0).
+func (ts TSpec) Envelope() minplus.Curve {
+	peak := minplus.TokenBucket(ts.MaxUnit, ts.Peak)
+	sustained := minplus.TokenBucket(ts.Sigma, ts.Rho)
+	return minplus.Min(peak, sustained)
+}
+
+// Shifted returns the envelope deformed by a delay bound d upstream:
+// b'(I) = b(I + d). For a token bucket this is the classical burstiness
+// increase sigma' = sigma + rho*d. Shifted applies to any envelope curve.
+func Shifted(envelope minplus.Curve, d float64) minplus.Curve {
+	if d < 0 {
+		panic("traffic: Shifted with negative delay")
+	}
+	if d == 0 {
+		return envelope
+	}
+	return minplus.ShiftLeft(envelope, d)
+}
+
+// ShiftedBucket returns the token bucket that results from pushing tb
+// through a stage with delay bound d: (sigma + rho*d, rho).
+func ShiftedBucket(tb TokenBucket, d float64) TokenBucket {
+	if d < 0 {
+		panic("traffic: ShiftedBucket with negative delay")
+	}
+	return TokenBucket{Sigma: tb.Sigma + tb.Rho*d, Rho: tb.Rho}
+}
+
+// Aggregate sums the envelopes of a set of flows.
+func Aggregate(envelopes ...minplus.Curve) minplus.Curve {
+	return minplus.Sum(envelopes...)
+}
