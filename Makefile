@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover figures fuzz clean
+.PHONY: all build test race bench cover figures fuzz run-delayd clean
 
 all: build test
 
@@ -25,6 +25,11 @@ cover:
 # Regenerate every paper figure and extension experiment (CSV into results/).
 figures:
 	$(GO) run ./cmd/figures -csv results | tee results/figures.txt
+
+# Start the admission-control daemon on the paper's 4-server tandem
+# fabric (see docs/SERVICE.md for the API).
+run-delayd:
+	$(GO) run ./cmd/delayd -addr :8080 -tandem 4
 
 fuzz:
 	$(GO) test -fuzz=FuzzAlgebra -fuzztime=30s ./internal/minplus

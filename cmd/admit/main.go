@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"os"
 
-	"delaycalc/internal/admission"
 	"delaycalc/internal/analysis"
 	"delaycalc/internal/server"
+	"delaycalc/internal/service"
 	"delaycalc/internal/topo"
 	"delaycalc/internal/traffic"
 )
@@ -47,17 +47,19 @@ func main() {
 	fmt.Printf("fabric: %d-server tandem, deadline %g, source (%g, %g)\n\n",
 		*nServers, *deadline, *sigma, *rho)
 	fmt.Printf("%-14s %10s %16s\n", "algorithm", "admitted", "max utilization")
+	// service.State is the same admission code path the delayd daemon
+	// serves, so CLI numbers and server decisions cannot diverge.
 	for _, a := range []analysis.Analyzer{analysis.Decomposed{}, analysis.ServiceCurve{}, analysis.Integrated{}} {
-		ctrl, err := admission.New(servers, a)
+		state, err := service.NewState(servers, a)
 		if err != nil {
 			fatal(err)
 		}
-		n, err := ctrl.FillGreedy(template, *limit)
+		n, err := state.FillGreedy(template, *limit)
 		if err != nil {
 			fatal(err)
 		}
 		maxU := 0.0
-		for _, u := range ctrl.Utilization() {
+		for _, u := range state.Utilization() {
 			if u > maxU {
 				maxU = u
 			}

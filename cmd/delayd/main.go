@@ -1,0 +1,148 @@
+// Command delayd is the long-running admission-control and delay-analysis
+// daemon. It holds a live fabric (from a netspec file or the paper's
+// tandem builder), serves concurrent admission tests against it, and runs
+// stateless analyses with an LRU result cache — the online application of
+// the paper's tighter FIFO delay analysis.
+//
+// Usage:
+//
+//	delayd [-addr :8080] [-algo integrated] (-spec net.json | -tandem 4 [-load 0.5])
+//	       [-cache 256] [-timeout 10s] [-max-body 1048576] [-shutdown-grace 10s]
+//
+// Endpoints (see docs/SERVICE.md for the full reference):
+//
+//	POST   /v1/connections        test-and-admit a connection (dry_run supported)
+//	GET    /v1/connections        list the admitted set and per-server utilization
+//	DELETE /v1/connections/{name} release an admitted connection
+//	POST   /v1/analyze            run any analyzer over a posted netspec (cached)
+//	GET    /metrics               counters, latency histograms, cache and fabric gauges
+//	GET    /healthz               liveness probe
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight requests for up to -shutdown-grace before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"delaycalc/internal/cliutil"
+	"delaycalc/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		specPath = flag.String("spec", "", "netspec JSON file defining the fabric (and optional pre-admitted connections)")
+		tandem   = flag.Int("tandem", 0, "build the paper's n-server tandem fabric instead of -spec")
+		load     = flag.Float64("load", 0.5, "tandem builder load (only with -tandem)")
+		algo     = flag.String("algo", "integrated", "admission-test analyzer (integrated, decomposed, servicecurve, gr, integratedsp)")
+		cacheSz  = flag.Int("cache", service.DefaultCacheSize, "analyze-cache capacity (0 disables caching)")
+		timeout  = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request deadline")
+		maxBody  = flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum request body bytes")
+		grace    = flag.Duration("shutdown-grace", 10*time.Second, "drain window after SIGINT/SIGTERM")
+		verbose  = flag.Bool("v", false, "debug-level logging")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *maxBody, *grace); err != nil {
+		logger.Error("delayd exiting", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, algo string,
+	cacheSz int, timeout time.Duration, maxBody int64, grace time.Duration) error {
+
+	analyzer, err := service.PickAnalyzer(algo)
+	if err != nil {
+		return err
+	}
+	net, err := cliutil.LoadNetwork(specPath, tandem, load)
+	if err != nil {
+		return err
+	}
+	state, err := service.NewState(net.Servers, analyzer)
+	if err != nil {
+		return err
+	}
+	// Pre-admit deadline-bearing connections from the spec so a saved
+	// fabric restarts with its admitted set; the tandem builder's
+	// best-effort connections (no deadline) are load templates, not
+	// admissions, and are skipped with a warning.
+	if specPath != "" {
+		for _, conn := range net.Connections {
+			if conn.Deadline <= 0 {
+				logger.Warn("skipping spec connection without deadline", "connection", conn.Name)
+				continue
+			}
+			d, err := state.Admit(conn)
+			if err != nil {
+				return fmt.Errorf("pre-admitting %q: %w", conn.Name, err)
+			}
+			if !d.Admitted {
+				return fmt.Errorf("pre-admitting %q: rejected: %s", conn.Name, d.Reason)
+			}
+			logger.Info("pre-admitted", "connection", conn.Name)
+		}
+	}
+
+	api, err := service.NewServer(service.Config{
+		State:          state,
+		Cache:          service.NewCache(cacheSz),
+		Logger:         logger,
+		RequestTimeout: timeout,
+		MaxBodyBytes:   maxBody,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("delayd listening", "addr", addr, "algo", analyzer.Name(),
+			"servers", len(net.Servers), "admitted", state.Count())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down, draining in-flight requests", "grace", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("delayd stopped cleanly")
+	return nil
+}

@@ -5,6 +5,13 @@
 // deadline. A tighter analysis therefore directly translates into more
 // admitted connections at the same quality of service — the paper's
 // utilization argument.
+//
+// Controller is NOT goroutine-safe: Admit, Remove, and FillGreedy mutate
+// the admitted set, and Admitted, Count, Test, and Utilization read it,
+// all without synchronization. Concurrent callers must serialize access
+// themselves; the canonical way is service.State (internal/service),
+// which wraps a Controller behind a mutex and returns copies, and which
+// both the delayd daemon and the CLIs use.
 package admission
 
 import (

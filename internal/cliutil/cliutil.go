@@ -6,10 +6,10 @@ package cliutil
 import (
 	"fmt"
 	"os"
-	"strings"
 
 	"delaycalc/internal/analysis"
 	"delaycalc/internal/netspec"
+	"delaycalc/internal/service"
 	"delaycalc/internal/topo"
 )
 
@@ -32,20 +32,9 @@ func LoadNetwork(specPath string, tandem int, load float64) (*topo.Network, erro
 	}
 }
 
-// PickAnalyzer resolves a user-facing algorithm name.
+// PickAnalyzer resolves a user-facing algorithm name. It delegates to the
+// service registry so that the CLIs and the delayd daemon accept exactly
+// the same names.
 func PickAnalyzer(name string) (analysis.Analyzer, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "integrated", "int":
-		return analysis.Integrated{}, nil
-	case "decomposed", "dec":
-		return analysis.Decomposed{}, nil
-	case "servicecurve", "sc":
-		return analysis.ServiceCurve{}, nil
-	case "gr", "guaranteedrate":
-		return analysis.GuaranteedRateNetworkCurve{}, nil
-	case "integratedsp", "sp":
-		return analysis.IntegratedSP{}, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want integrated, decomposed, servicecurve, gr or integratedsp)", name)
-	}
+	return service.PickAnalyzer(name)
 }

@@ -1,0 +1,23 @@
+package netspec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"delaycalc/internal/topo"
+)
+
+// Digest returns a canonical SHA-256 hex digest of a network. Two spec
+// documents that decode to the same network — regardless of formatting,
+// discipline aliases ("sp" vs "static-priority"), or whether path hops are
+// given by name or index — produce the same digest, because the digest is
+// taken over the canonical re-encoding (Encode) rather than the input
+// bytes. The service layer uses it as the cache key for analysis results.
+func Digest(net *topo.Network) (string, error) {
+	data, err := Encode(net)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,53 @@
+package netspec
+
+import (
+	"testing"
+
+	"delaycalc/internal/topo"
+)
+
+// Two textually different documents describing the same network must hash
+// identically; a semantic change must not.
+func TestDigestCanonical(t *testing.T) {
+	byName := []byte(`{
+	  "servers": [
+	    {"name": "sw0", "capacity": 1, "discipline": "fifo"},
+	    {"name": "sw1", "capacity": 1}
+	  ],
+	  "connections": [
+	    {"name": "video", "sigma": 1, "rho": 0.25, "access_rate": 1,
+	     "path": ["sw0", "sw1"], "deadline": 10}
+	  ]
+	}`)
+	byIndex := []byte(`{"servers":[{"name":"sw0","capacity":1},{"name":"sw1","capacity":1,"discipline":"fifo"}],"connections":[{"name":"video","sigma":1,"rho":0.25,"access_rate":1,"path":[0,1],"deadline":10}]}`)
+	changed := []byte(`{"servers":[{"name":"sw0","capacity":1},{"name":"sw1","capacity":1}],"connections":[{"name":"video","sigma":2,"rho":0.25,"access_rate":1,"path":[0,1],"deadline":10}]}`)
+
+	digest := func(doc []byte) string {
+		net, err := Decode(doc)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		d, err := Digest(net)
+		if err != nil {
+			t.Fatalf("Digest: %v", err)
+		}
+		return d
+	}
+
+	d1, d2, d3 := digest(byName), digest(byIndex), digest(changed)
+	if d1 != d2 {
+		t.Errorf("equivalent specs digest differently: %s vs %s", d1, d2)
+	}
+	if d1 == d3 {
+		t.Errorf("distinct specs collide: %s", d1)
+	}
+	if len(d1) != 64 {
+		t.Errorf("want 64 hex chars, got %d (%s)", len(d1), d1)
+	}
+}
+
+func TestDigestRejectsInvalid(t *testing.T) {
+	if _, err := Digest(&topo.Network{}); err == nil {
+		t.Fatal("Digest of an empty network should fail validation")
+	}
+}

@@ -121,20 +121,69 @@ func Decode(data []byte) (*topo.Network, error) {
 	return FromSpec(&spec)
 }
 
+// ServerIndex maps named servers to their indices, rejecting duplicates.
+func ServerIndex(servers []server.Server) (map[string]int, error) {
+	index := make(map[string]int, len(servers))
+	for i, s := range servers {
+		if s.Name == "" {
+			continue
+		}
+		if _, dup := index[s.Name]; dup {
+			return nil, fmt.Errorf("netspec: duplicate server name %q", s.Name)
+		}
+		index[s.Name] = i
+	}
+	return index, nil
+}
+
+// ConnectionFromSpec resolves one connection spec against a server fabric,
+// mapping path hops given by name through the index. The result is not
+// validated beyond path resolution; callers validate it in network context.
+func ConnectionFromSpec(c *ConnectionSpec, index map[string]int) (topo.Connection, error) {
+	var path []int
+	for j, raw := range c.Path {
+		var byName string
+		if err := json.Unmarshal(raw, &byName); err == nil {
+			idx, ok := index[byName]
+			if !ok {
+				return topo.Connection{}, fmt.Errorf("netspec: connection %q hop %d: unknown server %q", c.Name, j, byName)
+			}
+			path = append(path, idx)
+			continue
+		}
+		var byIdx int
+		if err := json.Unmarshal(raw, &byIdx); err == nil {
+			path = append(path, byIdx)
+			continue
+		}
+		return topo.Connection{}, fmt.Errorf("netspec: connection %q hop %d: want server name or index, got %s", c.Name, j, string(raw))
+	}
+	conn := topo.Connection{
+		Name:       c.Name,
+		Bucket:     traffic.TokenBucket{Sigma: c.Sigma, Rho: c.Rho},
+		AccessRate: c.AccessRate,
+		Path:       path,
+		Priority:   c.Priority,
+		Rate:       c.Rate,
+		Deadline:   c.Deadline,
+	}
+	if c.Envelope != nil {
+		env, err := c.Envelope.Curve()
+		if err != nil {
+			return topo.Connection{}, fmt.Errorf("netspec: connection %q: %w", c.Name, err)
+		}
+		conn.Envelope = &env
+	}
+	return conn, nil
+}
+
 // FromSpec converts a parsed Spec into a validated Network.
 func FromSpec(spec *Spec) (*topo.Network, error) {
 	net := &topo.Network{}
-	index := make(map[string]int, len(spec.Servers))
 	for i, s := range spec.Servers {
 		d, err := ParseDiscipline(s.Discipline)
 		if err != nil {
 			return nil, fmt.Errorf("netspec: server %d: %w", i, err)
-		}
-		if s.Name != "" {
-			if _, dup := index[s.Name]; dup {
-				return nil, fmt.Errorf("netspec: duplicate server name %q", s.Name)
-			}
-			index[s.Name] = i
 		}
 		net.Servers = append(net.Servers, server.Server{
 			Name:       s.Name,
@@ -143,40 +192,14 @@ func FromSpec(spec *Spec) (*topo.Network, error) {
 			Latency:    s.Latency,
 		})
 	}
-	for i, c := range spec.Connections {
-		var path []int
-		for j, raw := range c.Path {
-			var byName string
-			if err := json.Unmarshal(raw, &byName); err == nil {
-				idx, ok := index[byName]
-				if !ok {
-					return nil, fmt.Errorf("netspec: connection %d hop %d: unknown server %q", i, j, byName)
-				}
-				path = append(path, idx)
-				continue
-			}
-			var byIdx int
-			if err := json.Unmarshal(raw, &byIdx); err == nil {
-				path = append(path, byIdx)
-				continue
-			}
-			return nil, fmt.Errorf("netspec: connection %d hop %d: want server name or index, got %s", i, j, string(raw))
-		}
-		conn := topo.Connection{
-			Name:       c.Name,
-			Bucket:     traffic.TokenBucket{Sigma: c.Sigma, Rho: c.Rho},
-			AccessRate: c.AccessRate,
-			Path:       path,
-			Priority:   c.Priority,
-			Rate:       c.Rate,
-			Deadline:   c.Deadline,
-		}
-		if c.Envelope != nil {
-			env, err := c.Envelope.Curve()
-			if err != nil {
-				return nil, fmt.Errorf("netspec: connection %d: %w", i, err)
-			}
-			conn.Envelope = &env
+	index, err := ServerIndex(net.Servers)
+	if err != nil {
+		return nil, err
+	}
+	for i := range spec.Connections {
+		conn, err := ConnectionFromSpec(&spec.Connections[i], index)
+		if err != nil {
+			return nil, fmt.Errorf("netspec: connection %d: %w", i, err)
 		}
 		net.Connections = append(net.Connections, conn)
 	}
@@ -192,6 +215,12 @@ func Encode(net *topo.Network) ([]byte, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
+	return json.MarshalIndent(ToSpec(net), "", "  ")
+}
+
+// ToSpec converts a Network back into its serializable Spec form, naming
+// path hops by server name when available. The network is assumed valid.
+func ToSpec(net *topo.Network) *Spec {
 	spec := Spec{}
 	for _, s := range net.Servers {
 		spec.Servers = append(spec.Servers, ServerSpec{
@@ -229,5 +258,5 @@ func Encode(net *topo.Network) ([]byte, error) {
 		}
 		spec.Connections = append(spec.Connections, cs)
 	}
-	return json.MarshalIndent(&spec, "", "  ")
+	return &spec
 }

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"delaycalc/internal/analysis"
+)
+
+// Cache is a goroutine-safe LRU cache of analysis results keyed by
+// (analyzer name, canonical netspec digest). Results are stored as-is and
+// must be treated as immutable by callers; the handlers only read them.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *analysis.Result
+}
+
+// NewCache builds an LRU cache holding at most capacity results. A
+// capacity of zero or less disables caching (every Get misses, Put is a
+// no-op), which keeps the analyze path valid without branching at call
+// sites.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*analysis.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result, evicting the least recently used entry when full.
+func (c *Cache) Put(key string, res *analysis.Result) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (a +Inf bucket
+// is implicit). Chosen to resolve both sub-millisecond cache hits and
+// multi-second worst-case integrated analyses.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts []uint64 // one per bucket in latencyBuckets, cumulative on render
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// Metrics accumulates request counters, an in-flight gauge, and
+// per-endpoint latency histograms, and renders them in the Prometheus
+// text exposition format without any external dependency.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // endpoint -> status code -> count
+	hist     map[string]*histogram     // endpoint -> latency histogram
+	inFlight int64                     // atomic
+}
+
+// NewMetrics builds an empty metrics accumulator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[string]map[int]uint64),
+		hist:     make(map[string]*histogram),
+	}
+}
+
+// RequestStarted increments the in-flight gauge.
+func (m *Metrics) RequestStarted() { atomic.AddInt64(&m.inFlight, 1) }
+
+// RequestFinished decrements the in-flight gauge and records the request's
+// endpoint, status code, and latency.
+func (m *Metrics) RequestFinished(endpoint string, code int, seconds float64) {
+	atomic.AddInt64(&m.inFlight, -1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode, ok := m.requests[endpoint]
+	if !ok {
+		byCode = make(map[int]uint64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h, ok := m.hist[endpoint]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.hist[endpoint] = h
+	}
+	h.observe(seconds)
+}
+
+// InFlight returns the current in-flight request count.
+func (m *Metrics) InFlight() int64 { return atomic.LoadInt64(&m.inFlight) }
+
+// RequestCount returns the total count recorded for an endpoint and code.
+func (m *Metrics) RequestCount(endpoint string, code int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[endpoint][code]
+}
+
+// gaugeLine formats one sample line.
+func gaugeLine(w io.Writer, name, labels string, value float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// WriteText renders every metric in the text exposition format with
+// deterministic ordering. The extra gauges (cache, admission) are sampled
+// from the Server that owns this Metrics via the write* helpers below.
+func (m *Metrics) WriteText(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	endpoints := make([]string, 0, len(m.requests))
+	for ep := range m.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+
+	fmt.Fprintln(w, "# HELP delayd_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE delayd_requests_total counter")
+	for _, ep := range endpoints {
+		codes := make([]int, 0, len(m.requests[ep]))
+		for code := range m.requests[ep] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			gaugeLine(w, "delayd_requests_total",
+				fmt.Sprintf(`endpoint=%q,code="%d"`, ep, code), float64(m.requests[ep][code]))
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP delayd_in_flight_requests Requests currently being handled.")
+	fmt.Fprintln(w, "# TYPE delayd_in_flight_requests gauge")
+	gaugeLine(w, "delayd_in_flight_requests", "", float64(atomic.LoadInt64(&m.inFlight)))
+
+	fmt.Fprintln(w, "# HELP delayd_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE delayd_request_duration_seconds histogram")
+	for _, ep := range endpoints {
+		h := m.hist[ep]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			gaugeLine(w, "delayd_request_duration_seconds_bucket",
+				fmt.Sprintf(`endpoint=%q,le="%s"`, ep, strconv.FormatFloat(ub, 'g', -1, 64)), float64(cum))
+		}
+		gaugeLine(w, "delayd_request_duration_seconds_bucket",
+			fmt.Sprintf(`endpoint=%q,le="+Inf"`, ep), float64(h.count))
+		gaugeLine(w, "delayd_request_duration_seconds_sum", fmt.Sprintf("endpoint=%q", ep), h.sum)
+		gaugeLine(w, "delayd_request_duration_seconds_count", fmt.Sprintf("endpoint=%q", ep), float64(h.count))
+	}
+}
+
+// writeCacheMetrics renders the analyze-cache counters.
+func writeCacheMetrics(w io.Writer, c *Cache) {
+	hits, misses := c.Stats()
+	fmt.Fprintln(w, "# HELP delayd_cache_hits_total Analyze-cache hits.")
+	fmt.Fprintln(w, "# TYPE delayd_cache_hits_total counter")
+	gaugeLine(w, "delayd_cache_hits_total", "", float64(hits))
+	fmt.Fprintln(w, "# HELP delayd_cache_misses_total Analyze-cache misses.")
+	fmt.Fprintln(w, "# TYPE delayd_cache_misses_total counter")
+	gaugeLine(w, "delayd_cache_misses_total", "", float64(misses))
+	fmt.Fprintln(w, "# HELP delayd_cache_hit_ratio Hits over lookups since start (0 when no lookups).")
+	fmt.Fprintln(w, "# TYPE delayd_cache_hit_ratio gauge")
+	ratio := 0.0
+	if total := hits + misses; total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	gaugeLine(w, "delayd_cache_hit_ratio", "", ratio)
+	fmt.Fprintln(w, "# HELP delayd_cache_entries Resident analyze-cache entries.")
+	fmt.Fprintln(w, "# TYPE delayd_cache_entries gauge")
+	gaugeLine(w, "delayd_cache_entries", "", float64(c.Len()))
+}
+
+// writeAdmissionMetrics renders the current admitted-set gauges.
+func writeAdmissionMetrics(w io.Writer, st *State) {
+	_, util, count := st.Snapshot()
+	servers := st.Servers()
+	fmt.Fprintln(w, "# HELP delayd_admitted_connections Currently admitted connections.")
+	fmt.Fprintln(w, "# TYPE delayd_admitted_connections gauge")
+	gaugeLine(w, "delayd_admitted_connections", "", float64(count))
+	fmt.Fprintln(w, "# HELP delayd_server_utilization Long-run utilization of each fabric server.")
+	fmt.Fprintln(w, "# TYPE delayd_server_utilization gauge")
+	for i, u := range util {
+		name := servers[i].Name
+		if name == "" {
+			name = strconv.Itoa(i)
+		}
+		if math.IsNaN(u) {
+			u = 0
+		}
+		gaugeLine(w, "delayd_server_utilization", fmt.Sprintf("server=%q", name), u)
+	}
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"delaycalc/internal/analysis"
+)
+
+// analyzerAliases maps every accepted user-facing name to its analyzer.
+// The canonical names (first per analyzer) are what AnalyzerNames lists.
+var analyzerAliases = map[string]analysis.Analyzer{
+	"integrated":     analysis.Integrated{},
+	"int":            analysis.Integrated{},
+	"decomposed":     analysis.Decomposed{},
+	"dec":            analysis.Decomposed{},
+	"servicecurve":   analysis.ServiceCurve{},
+	"sc":             analysis.ServiceCurve{},
+	"gr":             analysis.GuaranteedRateNetworkCurve{},
+	"guaranteedrate": analysis.GuaranteedRateNetworkCurve{},
+	"integratedsp":   analysis.IntegratedSP{},
+	"sp":             analysis.IntegratedSP{},
+}
+
+// canonicalNames lists the analyzer names advertised to users; aliases
+// resolve but are not listed.
+var canonicalNames = []string{"integrated", "decomposed", "servicecurve", "gr", "integratedsp"}
+
+// PickAnalyzer resolves a user-facing algorithm name (case-insensitive,
+// aliases accepted). It is the single registry shared by the daemon and
+// the command-line tools.
+func PickAnalyzer(name string) (analysis.Analyzer, error) {
+	a, ok := analyzerAliases[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (want %s)", name, strings.Join(AnalyzerNames(), ", "))
+	}
+	return a, nil
+}
+
+// AnalyzerNames returns the canonical analyzer names, sorted.
+func AnalyzerNames() []string {
+	out := make([]string, len(canonicalNames))
+	copy(out, canonicalNames)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,408 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"strings"
+	"time"
+
+	"delaycalc/internal/admission"
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/netspec"
+	"delaycalc/internal/topo"
+)
+
+// Defaults applied by NewServer when the corresponding Config field is zero.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB
+	DefaultCacheSize      = 256
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// State holds the live admission fabric. Required.
+	State *State
+	// Cache holds analyze results; NewCache(DefaultCacheSize) when nil.
+	Cache *Cache
+	// Logger receives structured request logs; a no-op logger when nil.
+	Logger *slog.Logger
+	// RequestTimeout bounds each request's context.
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request body sizes; oversized bodies get 413.
+	MaxBodyBytes int64
+}
+
+// Server is the delayd HTTP API: admission control over a live fabric plus
+// stateless analysis with caching, instrumented with Metrics.
+type Server struct {
+	state   *State
+	cache   *Cache
+	log     *slog.Logger
+	metrics *Metrics
+	timeout time.Duration
+	maxBody int64
+	mux     *http.ServeMux
+}
+
+// NewServer assembles the API around an admission state.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.State == nil {
+		return nil, fmt.Errorf("service: Config.State is required")
+	}
+	s := &Server{
+		state:   cfg.State,
+		cache:   cfg.Cache,
+		log:     cfg.Logger,
+		metrics: NewMetrics(),
+		timeout: cfg.RequestTimeout,
+		maxBody: cfg.MaxBodyBytes,
+	}
+	if s.cache == nil {
+		s.cache = NewCache(DefaultCacheSize)
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if s.timeout <= 0 {
+		s.timeout = DefaultRequestTimeout
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/connections", s.instrument("POST /v1/connections", s.handleAdmit))
+	s.mux.HandleFunc("GET /v1/connections", s.instrument("GET /v1/connections", s.handleList))
+	s.mux.HandleFunc("DELETE /v1/connections/{name}", s.instrument("DELETE /v1/connections/{name}", s.handleRemove))
+	s.mux.HandleFunc("POST /v1/analyze", s.instrument("POST /v1/analyze", s.handleAnalyze))
+	s.mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealthz))
+	return s, nil
+}
+
+// ServeHTTP dispatches to the instrumented mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the accumulator (used by tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Cache exposes the analyze cache (used by tests and benchmarks).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// State exposes the admission state.
+func (s *Server) State() *State { return s.state }
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request-scoped plumbing shared by
+// every endpoint: body size limiting, a context deadline, in-flight and
+// latency metrics under a stable endpoint label, panic recovery, and a
+// structured access log line.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.RequestStarted()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.maxBody)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("panic", "endpoint", endpoint, "panic", p)
+				if rec.status == http.StatusOK {
+					writeError(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			elapsed := time.Since(start)
+			s.metrics.RequestFinished(endpoint, rec.status, elapsed.Seconds())
+			s.log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}()
+		h(rec, r)
+	}
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeBody decodes a JSON request body strictly, mapping the failure
+// modes to the right status: 413 for an oversized body, 400 otherwise.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	// Reject trailing garbage after the document.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "invalid JSON: trailing data after document")
+		return false
+	}
+	return true
+}
+
+// Bound marshals a delay bound, rendering the unbounded (+Inf) and
+// undefined (NaN) cases as JSON null, which plain JSON numbers cannot
+// represent.
+type Bound float64
+
+// MarshalJSON implements json.Marshaler.
+func (b Bound) MarshalJSON() ([]byte, error) {
+	f := float64(b)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+func toBounds(fs []float64) []Bound {
+	out := make([]Bound, len(fs))
+	for i, f := range fs {
+		out[i] = Bound(f)
+	}
+	return out
+}
+
+// AdmitRequest is the body of POST /v1/connections.
+type AdmitRequest struct {
+	Connection netspec.ConnectionSpec `json:"connection"`
+	// DryRun runs the admission test without committing the connection.
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// AdmitResponse reports an admission decision.
+type AdmitResponse struct {
+	Admitted bool    `json:"admitted"`
+	DryRun   bool    `json:"dry_run,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+	Bounds   []Bound `json:"bounds,omitempty"`
+	Count    int     `json:"count"`
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req AdmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	index, err := netspec.ServerIndex(s.state.Servers())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	cand, err := netspec.ConnectionFromSpec(&req.Connection, index)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	// The admission test itself runs synchronously under the state lock:
+	// it cannot be cancelled midway, and completing it keeps the admitted
+	// set deterministic — a timed-out client never leaves the fabric in an
+	// unknown state.
+	var d admission.Decision
+	if req.DryRun {
+		d, err = s.state.Test(cand)
+	} else {
+		d, err = s.state.Admit(cand)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, AdmitResponse{
+		Admitted: d.Admitted,
+		DryRun:   req.DryRun,
+		Reason:   d.Reason,
+		Bounds:   toBounds(d.Bounds),
+		Count:    s.state.Count(),
+	})
+}
+
+// ListResponse is the body of GET /v1/connections.
+type ListResponse struct {
+	Count       int                      `json:"count"`
+	Utilization []float64                `json:"utilization"`
+	Connections []netspec.ConnectionSpec `json:"connections"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	conns, util, count := s.state.Snapshot()
+	spec := netspec.ToSpec(&topo.Network{Servers: s.state.Servers(), Connections: conns})
+	if spec.Connections == nil {
+		spec.Connections = []netspec.ConnectionSpec{}
+	}
+	writeJSON(w, http.StatusOK, ListResponse{
+		Count:       count,
+		Utilization: util,
+		Connections: spec.Connections,
+	})
+}
+
+// RemoveResponse is the body of DELETE /v1/connections/{name}.
+type RemoveResponse struct {
+	Removed string `json:"removed"`
+	Count   int    `json:"count"`
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		writeError(w, http.StatusBadRequest, "empty connection name")
+		return
+	}
+	if !s.state.Remove(name) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no admitted connection named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, RemoveResponse{Removed: name, Count: s.state.Count()})
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Analyzer names the algorithm ("integrated" when empty); see
+	// AnalyzerNames for the accepted set.
+	Analyzer string `json:"analyzer,omitempty"`
+	// Network is the full netspec document to analyze.
+	Network netspec.Spec `json:"network"`
+}
+
+// AnalyzeResponse reports per-connection delay bounds and per-server
+// backlog bounds. Null entries mark unbounded (unstable) connections.
+type AnalyzeResponse struct {
+	Algorithm string  `json:"algorithm"`
+	Digest    string  `json:"digest"`
+	Cached    bool    `json:"cached"`
+	Bounds    []Bound `json:"bounds"`
+	Backlogs  []Bound `json:"backlogs,omitempty"`
+	MaxBound  Bound   `json:"max_bound"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	name := req.Analyzer
+	if name == "" {
+		name = "integrated"
+	}
+	analyzer, err := PickAnalyzer(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	net, err := netspec.FromSpec(&req.Network)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	digest, err := netspec.Digest(net)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	key := analyzer.Name() + ":" + digest
+	if res, ok := s.cache.Get(key); ok {
+		writeAnalyzeResponse(w, res, digest, true)
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	// The analysis itself is stateless and may be slow on large networks,
+	// so run it off the handler goroutine and race it against the request
+	// deadline. A result that loses the race is still cached for the
+	// client's retry.
+	type outcome struct {
+		res *analysis.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := analyzer.Analyze(net)
+		if err == nil {
+			s.cache.Put(key, res)
+		}
+		done <- outcome{res, err}
+	}()
+	select {
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "analysis did not finish before the request deadline")
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, http.StatusUnprocessableEntity, out.err.Error())
+			return
+		}
+		writeAnalyzeResponse(w, out.res, digest, false)
+	}
+}
+
+func writeAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, digest string, cached bool) {
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Algorithm: res.Algorithm,
+		Digest:    digest,
+		Cached:    cached,
+		Bounds:    toBounds(res.Bounds),
+		Backlogs:  toBounds(res.Backlogs),
+		MaxBound:  Bound(res.MaxBound()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w)
+	writeCacheMetrics(w, s.cache)
+	writeAdmissionMetrics(w, s.state)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

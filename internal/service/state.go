@@ -1,0 +1,103 @@
+// Package service is the serving layer of the repository: a goroutine-safe
+// admission-control state, an LRU cache for analysis results, request
+// metrics, and the HTTP/JSON handlers that delayd (cmd/delayd) mounts.
+// The command-line tools reuse the same State so that CLI and daemon
+// drive one admission implementation.
+package service
+
+import (
+	"sync"
+
+	"delaycalc/internal/admission"
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// State wraps admission.Controller (which is not goroutine-safe) behind a
+// mutex so that concurrent HTTP handlers can test, admit, and release
+// connections safely. All accessors return copies; no internal slice
+// escapes the lock.
+type State struct {
+	mu      sync.Mutex
+	ctrl    *admission.Controller
+	servers []server.Server // immutable after construction
+}
+
+// NewState builds a locked admission state over the given fabric.
+func NewState(servers []server.Server, analyzer analysis.Analyzer) (*State, error) {
+	ctrl, err := admission.New(servers, analyzer)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]server.Server, len(servers))
+	copy(cp, servers)
+	return &State{ctrl: ctrl, servers: cp}, nil
+}
+
+// Servers returns a copy of the fabric the state admits against.
+func (s *State) Servers() []server.Server {
+	cp := make([]server.Server, len(s.servers))
+	copy(cp, s.servers)
+	return cp
+}
+
+// Test runs the admission test without committing the candidate.
+func (s *State) Test(cand topo.Connection) (admission.Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Test(cand)
+}
+
+// Admit runs the admission test and commits the candidate on success.
+func (s *State) Admit(cand topo.Connection) (admission.Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Admit(cand)
+}
+
+// Remove releases a previously admitted connection by name.
+func (s *State) Remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Remove(name)
+}
+
+// Admitted returns a copy of the currently admitted connections.
+func (s *State) Admitted() []topo.Connection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Admitted()
+}
+
+// Count returns the number of admitted connections.
+func (s *State) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Count()
+}
+
+// Utilization returns the per-server utilization of the admitted set.
+func (s *State) Utilization() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Utilization()
+}
+
+// Snapshot returns the admitted set, per-server utilization, and count in
+// one consistent view (a single lock acquisition).
+func (s *State) Snapshot() (conns []topo.Connection, util []float64, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Admitted(), s.ctrl.Utilization(), s.ctrl.Count()
+}
+
+// FillGreedy admits numbered copies of the template until the first
+// rejection, holding the lock across the whole fill so that the count is
+// exact even with concurrent callers. It is the measurement loop used by
+// cmd/admit to compare admission capacity across analyzers.
+func (s *State) FillGreedy(template topo.Connection, limit int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.FillGreedy(template, limit)
+}
