@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover figures fuzz run-delayd clean
+.PHONY: all build test race bench bench-admit cover figures fuzz run-delayd clean
 
 all: build test
 
@@ -19,6 +19,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Full vs incremental admission test on the 200-connection, 32-switch
+# tandem (docs/INCREMENTAL.md); the incremental path must be >=5x faster.
+bench-admit:
+	$(GO) test -bench='BenchmarkFullTest|BenchmarkIncrementalTest' -benchmem -run '^$$' ./internal/admission
+
 cover:
 	$(GO) test -cover ./...
 
@@ -34,6 +39,7 @@ run-delayd:
 fuzz:
 	$(GO) test -fuzz=FuzzAlgebra -fuzztime=30s ./internal/minplus
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/netspec
+	$(GO) test -fuzz=FuzzIncrementalEquivalence -fuzztime=30s ./internal/admission
 
 clean:
 	rm -rf results

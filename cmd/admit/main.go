@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	admit [-servers 4] [-deadline 14] [-sigma 1] [-rho 0.02] [-limit 200]
+//	admit [-servers 4] [-deadline 14] [-sigma 1] [-rho 0.02] [-limit 200] [-full]
+//
+// The greedy fill runs through the same incremental admission engine the
+// delayd daemon serves (docs/INCREMENTAL.md): each admission extends the
+// previous analysis baseline instead of re-analyzing the whole network.
+// -full forces a complete re-analysis per test; the admitted counts are
+// identical either way.
 package main
 
 import (
@@ -27,6 +33,7 @@ func main() {
 		sigma    = flag.Float64("sigma", 1, "token bucket depth")
 		rho      = flag.Float64("rho", 0.02, "token rate")
 		limit    = flag.Int("limit", 200, "admission attempts")
+		full     = flag.Bool("full", false, "disable incremental analysis (full re-analysis per test)")
 	)
 	flag.Parse()
 
@@ -46,13 +53,16 @@ func main() {
 
 	fmt.Printf("fabric: %d-server tandem, deadline %g, source (%g, %g)\n\n",
 		*nServers, *deadline, *sigma, *rho)
-	fmt.Printf("%-14s %10s %16s\n", "algorithm", "admitted", "max utilization")
+	fmt.Printf("%-14s %10s %16s %18s\n", "algorithm", "admitted", "max utilization", "incremental tests")
 	// service.State is the same admission code path the delayd daemon
 	// serves, so CLI numbers and server decisions cannot diverge.
 	for _, a := range []analysis.Analyzer{analysis.Decomposed{}, analysis.ServiceCurve{}, analysis.Integrated{}} {
 		state, err := service.NewState(servers, a)
 		if err != nil {
 			fatal(err)
+		}
+		if *full {
+			state.ForceFull()
 		}
 		n, err := state.FillGreedy(template, *limit)
 		if err != nil {
@@ -64,7 +74,9 @@ func main() {
 				maxU = u
 			}
 		}
-		fmt.Printf("%-14s %10d %15.1f%%\n", a.Name(), n, 100*maxU)
+		stats := state.Engine().Stats()
+		fmt.Printf("%-14s %10d %15.1f%% %11d/%d\n", a.Name(), n, 100*maxU,
+			stats.IncrementalTests, stats.IncrementalTests+stats.FullTests)
 	}
 }
 

@@ -8,15 +8,25 @@
 //
 //	delayd [-addr :8080] [-algo integrated] (-spec net.json | -tandem 4 [-load 0.5])
 //	       [-cache 256] [-timeout 10s] [-max-body 1048576] [-shutdown-grace 10s]
+//	       [-incremental=true]
 //
-// Endpoints (see docs/SERVICE.md for the full reference):
+// Endpoints (see docs/SERVICE.md for the full reference; the unprefixed
+// pre-versioning spellings still work but answer with a Deprecation
+// header):
 //
 //	POST   /v1/connections        test-and-admit a connection (dry_run supported)
+//	POST   /v1/admit/batch        test-and-admit a whole list of connections in order
 //	GET    /v1/connections        list the admitted set and per-server utilization
 //	DELETE /v1/connections/{name} release an admitted connection
 //	POST   /v1/analyze            run any analyzer over a posted netspec (cached)
-//	GET    /metrics               counters, latency histograms, cache and fabric gauges
-//	GET    /healthz               liveness probe
+//	GET    /v1/metrics            counters, latency histograms, cache/fabric/engine gauges
+//	GET    /v1/healthz            liveness probe
+//
+// Admission tests run against immutable snapshots outside any lock; with
+// -incremental (the default, on analyzers that support it) each test
+// re-analyzes only the candidate's interference closure and splices cached
+// bounds for the rest — see docs/INCREMENTAL.md. -incremental=false forces
+// a full re-analysis per test.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight requests for up to -shutdown-grace before exiting.
@@ -49,6 +59,7 @@ func main() {
 		timeout  = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request deadline")
 		maxBody  = flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum request body bytes")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "drain window after SIGINT/SIGTERM")
+		incr     = flag.Bool("incremental", true, "use incremental admission analysis when the analyzer supports it")
 		verbose  = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -59,14 +70,14 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *maxBody, *grace); err != nil {
+	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *maxBody, *grace, *incr); err != nil {
 		logger.Error("delayd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, algo string,
-	cacheSz int, timeout time.Duration, maxBody int64, grace time.Duration) error {
+	cacheSz int, timeout time.Duration, maxBody int64, grace time.Duration, incremental bool) error {
 
 	analyzer, err := service.PickAnalyzer(algo)
 	if err != nil {
@@ -79,6 +90,9 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 	state, err := service.NewState(net.Servers, analyzer)
 	if err != nil {
 		return err
+	}
+	if !incremental {
+		state.ForceFull()
 	}
 	// Pre-admit deadline-bearing connections from the spec so a saved
 	// fabric restarts with its admitted set; the tandem builder's
@@ -124,6 +138,7 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("delayd listening", "addr", addr, "algo", analyzer.Name(),
+			"incremental", state.Engine().Incremental(),
 			"servers", len(net.Servers), "admitted", state.Count())
 		errc <- srv.ListenAndServe()
 	}()

@@ -67,33 +67,53 @@ func (c *Controller) network(extra ...topo.Connection) *topo.Network {
 	return net
 }
 
+// Stable machine-readable rejection codes carried by Decision.Code and
+// surfaced verbatim in the service API's error envelope.
+const (
+	// CodeDeadlineMissed marks a rejection because some connection's
+	// delay bound would exceed its deadline; Violations lists them.
+	CodeDeadlineMissed = "deadline_missed"
+	// CodeUnstable marks a rejection because some server's long-run load
+	// would reach its capacity.
+	CodeUnstable = "unstable"
+	// CodeInvalidSpec marks a candidate (or trial network) that failed
+	// structural validation.
+	CodeInvalidSpec = "invalid_spec"
+)
+
+// Violation identifies one connection whose deadline the trial network
+// would miss, with the offending bound and the deadline as structured
+// fields so callers never parse prose.
+type Violation struct {
+	// Connection is the connection's name ("connection i" when unnamed).
+	Connection string
+	// Bound is the post-admission delay bound (+Inf when unbounded).
+	Bound float64
+	// Deadline is the connection's requirement.
+	Deadline float64
+}
+
 // Decision records the outcome of an admission test.
 type Decision struct {
 	Admitted bool
-	// Reason explains a rejection.
+	// Code is a stable machine-readable rejection code (one of the Code*
+	// constants); empty when admitted.
+	Code string
+	// Reason explains a rejection in prose.
 	Reason string
+	// Violations lists every connection whose deadline the trial network
+	// would miss (only for CodeDeadlineMissed rejections).
+	Violations []Violation
 	// Bounds holds the post-admission delay bounds per connection
 	// (admitted connections first, the candidate last) when the test ran.
 	Bounds []float64
 }
 
-// Test checks whether the candidate could be admitted without mutating the
-// controller.
-func (c *Controller) Test(cand topo.Connection) (Decision, error) {
-	if cand.Deadline <= 0 {
-		return Decision{Reason: "candidate has no deadline"}, fmt.Errorf("admission: candidate %q has no deadline", cand.Name)
-	}
-	trial := c.network(cand)
-	if err := trial.Validate(); err != nil {
-		return Decision{Reason: err.Error()}, err
-	}
-	if !trial.Stable() {
-		return Decision{Reason: "network would be unstable"}, nil
-	}
-	res, err := c.analyzer.Analyze(trial)
-	if err != nil {
-		return Decision{Reason: err.Error()}, err
-	}
+// evaluate derives the Decision for an analyzed trial network. It is the
+// single decision rule shared by the full Controller path and the
+// incremental Engine path, so the two can never diverge.
+func evaluate(trial *topo.Network, res *analysis.Result) Decision {
+	d := Decision{Bounds: res.Bounds}
 	for i, conn := range trial.Connections {
 		if conn.Deadline <= 0 {
 			continue
@@ -103,13 +123,42 @@ func (c *Controller) Test(cand topo.Connection) (Decision, error) {
 			if name == "" {
 				name = fmt.Sprintf("connection %d", i)
 			}
-			return Decision{
-				Reason: fmt.Sprintf("%s would miss its deadline: bound %.6g > %.6g", name, res.Bound(i), conn.Deadline),
-				Bounds: res.Bounds,
-			}, nil
+			d.Violations = append(d.Violations, Violation{
+				Connection: name,
+				Bound:      res.Bound(i),
+				Deadline:   conn.Deadline,
+			})
 		}
 	}
-	return Decision{Admitted: true, Bounds: res.Bounds}, nil
+	if len(d.Violations) > 0 {
+		v := d.Violations[0]
+		d.Code = CodeDeadlineMissed
+		d.Reason = fmt.Sprintf("%s would miss its deadline: bound %.6g > %.6g", v.Connection, v.Bound, v.Deadline)
+		return d
+	}
+	d.Admitted = true
+	return d
+}
+
+// Test checks whether the candidate could be admitted without mutating the
+// controller.
+func (c *Controller) Test(cand topo.Connection) (Decision, error) {
+	if cand.Deadline <= 0 {
+		return Decision{Code: CodeInvalidSpec, Reason: "candidate has no deadline"},
+			fmt.Errorf("admission: candidate %q has no deadline", cand.Name)
+	}
+	trial := c.network(cand)
+	if err := trial.Validate(); err != nil {
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, err
+	}
+	if !trial.Stable() {
+		return Decision{Code: CodeUnstable, Reason: "network would be unstable"}, nil
+	}
+	res, err := c.analyzer.Analyze(trial)
+	if err != nil {
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, err
+	}
+	return evaluate(trial, res), nil
 }
 
 // Admit runs Test and, on success, commits the candidate.

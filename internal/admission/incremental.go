@@ -1,0 +1,399 @@
+// Incremental, concurrent admission control.
+//
+// Engine replaces the serialize-everything pattern (a mutex around
+// Controller for the whole analysis) with versioned immutable snapshots:
+// an admission test analyzes a snapshot outside any lock, and Admit
+// commits with a version check, retrying on conflict. On analyzers that
+// implement analysis.Incremental (Integrated, Decomposed), each snapshot
+// carries a lazily built analysis baseline, so a test re-analyzes only the
+// candidate's downstream interference closure and an admission promotes
+// the extended baseline at no extra cost. Decisions and bounds are
+// bit-identical to Controller's full re-analysis.
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// AffectedSet computes the downstream interference closure of a candidate
+// route over the server-sharing graph: a connection is affected when its
+// route intersects a tainted server; once affected, the suffix of its
+// route from the first tainted hop becomes tainted too, because the
+// candidate inflates the local delay there and the connection's output
+// burstiness propagates the inflation downstream. Iterated to a fixpoint.
+//
+// It returns the indices (into admitted) of affected connections, in
+// increasing order, and the set of tainted servers. The closure is the
+// conceptual affected set the incremental analysis may re-analyze; the
+// engine reports its size in the affected-set histogram.
+func AffectedSet(nServers int, admitted []topo.Connection, cand topo.Connection) (conns []int, tainted []bool) {
+	tainted = make([]bool, nServers)
+	for _, s := range cand.Path {
+		if s >= 0 && s < nServers {
+			tainted[s] = true
+		}
+	}
+	affected := make([]bool, len(admitted))
+	for changed := true; changed; {
+		changed = false
+		for i, c := range admitted {
+			if affected[i] {
+				continue
+			}
+			hit := -1
+			for k, s := range c.Path {
+				if tainted[s] {
+					hit = k
+					break
+				}
+			}
+			if hit < 0 {
+				continue
+			}
+			affected[i] = true
+			changed = true
+			for _, s := range c.Path[hit:] {
+				if !tainted[s] {
+					tainted[s] = true
+				}
+			}
+		}
+	}
+	for i, a := range affected {
+		if a {
+			conns = append(conns, i)
+		}
+	}
+	return conns, tainted
+}
+
+// affectedBuckets are the upper bounds of the affected-set size histogram.
+var affectedBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Stats is a point-in-time copy of the engine's counters.
+type Stats struct {
+	// IncrementalTests and FullTests count admission analyses by path.
+	IncrementalTests uint64
+	FullTests        uint64
+	// CommitConflicts counts Admit retries forced by a concurrent commit.
+	CommitConflicts uint64
+	// AffectedBuckets holds, per entry of AffectedBucketBounds, how many
+	// tests had an affected set of at most that many connections (raw,
+	// not cumulative); AffectedCount and AffectedSum summarize them.
+	AffectedBuckets []uint64
+	AffectedCount   uint64
+	AffectedSum     uint64
+}
+
+// AffectedBucketBounds returns the histogram bucket upper bounds.
+func AffectedBucketBounds() []float64 {
+	return append([]float64(nil), affectedBuckets...)
+}
+
+// Engine is a goroutine-safe admission controller over a fixed fabric.
+// All reads and tests run against immutable snapshots; mutations swap the
+// snapshot pointer under a short lock that never covers an analysis.
+type Engine struct {
+	servers   []server.Server
+	analyzer  analysis.Analyzer
+	inc       analysis.Incremental // nil when unsupported or force-full
+	mu        sync.Mutex           // serializes snapshot swaps only
+	snap      atomic.Pointer[Snapshot]
+	incTests  atomic.Uint64
+	fullTests atomic.Uint64
+	conflicts atomic.Uint64
+	affBucket []atomic.Uint64
+	affCount  atomic.Uint64
+	affSum    atomic.Uint64
+}
+
+// NewEngine builds an engine over the given fabric. The analyzer's
+// incremental path is used automatically when it implements
+// analysis.Incremental.
+func NewEngine(servers []server.Server, analyzer analysis.Analyzer) (*Engine, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("admission: no servers")
+	}
+	for i, s := range servers {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("admission: server %d: %w", i, err)
+		}
+	}
+	if analyzer == nil {
+		return nil, fmt.Errorf("admission: nil analyzer")
+	}
+	cp := make([]server.Server, len(servers))
+	copy(cp, servers)
+	e := &Engine{
+		servers:   cp,
+		analyzer:  analyzer,
+		affBucket: make([]atomic.Uint64, len(affectedBuckets)+1),
+	}
+	if inc, ok := analyzer.(analysis.Incremental); ok {
+		e.inc = inc
+	}
+	e.snap.Store(&Snapshot{eng: e})
+	return e, nil
+}
+
+// ForceFull disables the incremental path (every test re-analyzes the
+// whole trial network). Call it before serving traffic; it is not meant
+// to be flipped concurrently with tests.
+func (e *Engine) ForceFull() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.inc = nil
+	cur := e.snap.Load()
+	e.snap.Store(&Snapshot{eng: e, version: cur.version + 1, admitted: cur.admitted})
+}
+
+// Analyzer returns the analyzer admission tests run.
+func (e *Engine) Analyzer() analysis.Analyzer { return e.analyzer }
+
+// Incremental reports whether the incremental path is active.
+func (e *Engine) Incremental() bool { return e.inc != nil }
+
+// Servers returns a copy of the fabric.
+func (e *Engine) Servers() []server.Server {
+	cp := make([]server.Server, len(e.servers))
+	copy(cp, e.servers)
+	return cp
+}
+
+// Stats copies the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		IncrementalTests: e.incTests.Load(),
+		FullTests:        e.fullTests.Load(),
+		CommitConflicts:  e.conflicts.Load(),
+		AffectedBuckets:  make([]uint64, len(e.affBucket)),
+		AffectedCount:    e.affCount.Load(),
+		AffectedSum:      e.affSum.Load(),
+	}
+	for i := range e.affBucket {
+		st.AffectedBuckets[i] = e.affBucket[i].Load()
+	}
+	return st
+}
+
+func (e *Engine) observeAffected(n int) {
+	i := 0
+	for ; i < len(affectedBuckets); i++ {
+		if float64(n) <= affectedBuckets[i] {
+			break
+		}
+	}
+	e.affBucket[i].Add(1)
+	e.affCount.Add(1)
+	e.affSum.Add(uint64(n))
+}
+
+// Snapshot is an immutable view of the admitted set at one version. Tests
+// against a snapshot are pure and may run concurrently.
+type Snapshot struct {
+	eng      *Engine
+	version  uint64
+	admitted []topo.Connection
+	// promoted is a baseline handed over by the commit that created this
+	// snapshot; baseOnce/base/baseErr lazily build one otherwise.
+	promoted *analysis.Baseline
+	baseOnce sync.Once
+	base     *analysis.Baseline
+	baseErr  error
+}
+
+// Snapshot returns the current version of the admitted set.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Version identifies the snapshot; it increases with every commit.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Count returns the number of admitted connections.
+func (s *Snapshot) Count() int { return len(s.admitted) }
+
+// Admitted returns a copy of the snapshot's admitted set.
+func (s *Snapshot) Admitted() []topo.Connection {
+	out := make([]topo.Connection, len(s.admitted))
+	copy(out, s.admitted)
+	return out
+}
+
+// network materializes the snapshot's (or a trial) connection set.
+func (s *Snapshot) network(extra ...topo.Connection) *topo.Network {
+	net := &topo.Network{Servers: s.eng.servers}
+	net.Connections = append(net.Connections, s.admitted...)
+	net.Connections = append(net.Connections, extra...)
+	return net
+}
+
+// Utilization returns the per-server utilization of the admitted set.
+func (s *Snapshot) Utilization() []float64 { return s.network().Utilization() }
+
+// baseline returns the snapshot's analysis baseline, building it (one full
+// analysis of the admitted set) at most once.
+func (s *Snapshot) baseline() (*analysis.Baseline, error) {
+	if s.promoted != nil {
+		return s.promoted, nil
+	}
+	s.baseOnce.Do(func() {
+		s.base, s.baseErr = s.eng.inc.NewBaseline(s.network())
+	})
+	return s.base, s.baseErr
+}
+
+// Test checks whether the candidate could be admitted into this snapshot.
+// It never mutates the engine and is safe to call concurrently.
+func (s *Snapshot) Test(cand topo.Connection) (Decision, error) {
+	d, _, err := s.test(cand)
+	return d, err
+}
+
+// test returns the decision plus, on the incremental path, the extension
+// to promote on commit.
+func (s *Snapshot) test(cand topo.Connection) (Decision, *analysis.Extension, error) {
+	if cand.Deadline <= 0 {
+		return Decision{Code: CodeInvalidSpec, Reason: "candidate has no deadline"}, nil,
+			fmt.Errorf("admission: candidate %q has no deadline", cand.Name)
+	}
+	trial := s.network(cand)
+	if err := trial.Validate(); err != nil {
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, nil, err
+	}
+	if !trial.Stable() {
+		return Decision{Code: CodeUnstable, Reason: "network would be unstable"}, nil, nil
+	}
+	affected, _ := AffectedSet(len(s.eng.servers), s.admitted, cand)
+	s.eng.observeAffected(len(affected))
+	if s.eng.inc != nil {
+		if base, err := s.baseline(); err == nil {
+			ext, err := base.Extend(cand)
+			if err == nil {
+				s.eng.incTests.Add(1)
+				return evaluate(trial, ext.Result()), ext, nil
+			}
+		}
+		// Baseline or extension failure: fall through to the full path,
+		// which reproduces Controller.Test exactly (including its error).
+	}
+	s.eng.fullTests.Add(1)
+	res, err := s.eng.analyzer.Analyze(trial)
+	if err != nil {
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, nil, err
+	}
+	return evaluate(trial, res), nil, nil
+}
+
+// Test runs the admission test against the current snapshot, outside any
+// lock.
+func (e *Engine) Test(cand topo.Connection) (Decision, error) {
+	return e.Snapshot().Test(cand)
+}
+
+// Admit tests the candidate against the current snapshot and, on success,
+// commits it with a version check: if another commit won the race, the
+// test reruns against the fresh snapshot until the commit applies cleanly.
+func (e *Engine) Admit(cand topo.Connection) (Decision, error) {
+	for {
+		snap := e.Snapshot()
+		d, ext, err := snap.test(cand)
+		if err != nil || !d.Admitted {
+			return d, err
+		}
+		if e.commit(snap, cand, ext) {
+			return d, nil
+		}
+		e.conflicts.Add(1)
+	}
+}
+
+// commit installs snap+cand as the next version iff snap is still current.
+func (e *Engine) commit(snap *Snapshot, cand topo.Connection, ext *analysis.Extension) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.snap.Load() != snap {
+		return false
+	}
+	next := &Snapshot{
+		eng:      e,
+		version:  snap.version + 1,
+		admitted: append(append([]topo.Connection(nil), snap.admitted...), cand),
+	}
+	if ext != nil {
+		next.promoted = ext.Promote()
+	}
+	e.snap.Store(next)
+	return true
+}
+
+// Remove releases an admitted connection by name. The next snapshot has no
+// baseline (indices shifted), so the next incremental test rebuilds one.
+func (e *Engine) Remove(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	for i, conn := range cur.admitted {
+		if conn.Name == name {
+			next := &Snapshot{eng: e, version: cur.version + 1}
+			next.admitted = append(next.admitted, cur.admitted[:i]...)
+			next.admitted = append(next.admitted, cur.admitted[i+1:]...)
+			e.snap.Store(next)
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of admitted connections.
+func (e *Engine) Count() int { return e.Snapshot().Count() }
+
+// Admitted returns a copy of the currently admitted connections.
+func (e *Engine) Admitted() []topo.Connection { return e.Snapshot().Admitted() }
+
+// Utilization returns the per-server utilization of the admitted set.
+func (e *Engine) Utilization() []float64 { return e.Snapshot().Utilization() }
+
+// FillGreedy admits numbered copies of the template until the first
+// rejection, like Controller.FillGreedy. With the incremental path each
+// admission extends the previous baseline instead of re-analyzing the
+// whole network.
+func (e *Engine) FillGreedy(template topo.Connection, limit int) (int, error) {
+	n := 0
+	for n < limit {
+		cand := template
+		cand.Name = fmt.Sprintf("%s#%d", template.Name, e.Count())
+		d, err := e.Admit(cand)
+		if err != nil {
+			return n, err
+		}
+		if !d.Admitted {
+			return n, nil
+		}
+		n++
+	}
+	return n, nil
+}
+
+// MaxBound returns the largest finite bound of a decision's Bounds, +Inf
+// when any bound is unbounded, and NaN when the test never analyzed.
+func (d Decision) MaxBound() float64 {
+	if d.Bounds == nil {
+		return math.NaN()
+	}
+	m := 0.0
+	for _, b := range d.Bounds {
+		if math.IsInf(b, 1) {
+			return b
+		}
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}

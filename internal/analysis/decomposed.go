@@ -65,56 +65,73 @@ func decomposedPass(net *topo.Network) (p *propagation, perHopEnv [][]minplus.Cu
 		}
 	}
 	for _, s := range order {
-		srv := net.Servers[s]
 		conns := net.ConnectionsAt(s)
 		if len(conns) == 0 {
 			continue
 		}
 		record(conns)
-		var envs []minplus.Curve
-		for _, c := range conns {
-			envs = append(envs, p.env[c])
-		}
-		p.recordBacklog(s, minplus.Sum(envs...), srv.Capacity)
-		switch srv.Discipline {
-		case server.FIFO:
-			d := fifoLocalDelay(minplus.Sum(envs...), srv.Capacity, srv.Latency)
-			for _, c := range conns {
-				if !p.advance(c, []int{s}, d, 1) {
-					return nil, nil, false, nil
-				}
-			}
-		case server.StaticPriority:
-			delays := spLocalDelays(net, s, conns, p)
-			for i, c := range conns {
-				if !p.advance(c, []int{s}, delays[i], 1) {
-					return nil, nil, false, nil
-				}
-			}
-		case server.GuaranteedRate:
-			for _, c := range conns {
-				beta, gerr := grServiceCurve(net, s, c)
-				if gerr != nil {
-					return nil, nil, false, gerr
-				}
-				dc := minplus.HorizontalDeviation(p.env[c], beta)
-				if !p.advance(c, []int{s}, dc, 1) {
-					return nil, nil, false, nil
-				}
-			}
-		case server.EDF:
-			delays, eerr := edfLocalDelays(net, s, conns, p)
-			if eerr != nil {
-				return nil, nil, false, eerr
-			}
-			for i, c := range conns {
-				if !p.advance(c, []int{s}, delays[i], 1) {
-					return nil, nil, false, nil
-				}
-			}
-		default:
-			return nil, nil, false, fmt.Errorf("analysis: unsupported discipline %v at server %d", srv.Discipline, s)
+		ok, serr := decomposedServerStep(net, s, p)
+		if serr != nil || !ok {
+			return nil, nil, false, serr
 		}
 	}
 	return p, perHopEnv, true, nil
+}
+
+// decomposedServerStep analyzes a single server: it records the server's
+// backlog bound and advances every crossing connection by the local delay
+// of the server's discipline. It is the unit computation shared by the
+// full decomposed pass and the incremental driver. ok=false means a local
+// delay was unbounded and the whole analysis degrades to +Inf.
+func decomposedServerStep(net *topo.Network, s int, p *propagation) (ok bool, err error) {
+	srv := net.Servers[s]
+	conns := net.ConnectionsAt(s)
+	if len(conns) == 0 {
+		return true, nil
+	}
+	var envs []minplus.Curve
+	for _, c := range conns {
+		envs = append(envs, p.env[c])
+	}
+	p.recordBacklog(s, minplus.Sum(envs...), srv.Capacity)
+	switch srv.Discipline {
+	case server.FIFO:
+		d := fifoLocalDelay(minplus.Sum(envs...), srv.Capacity, srv.Latency)
+		for _, c := range conns {
+			if !p.advance(c, []int{s}, d, 1) {
+				return false, nil
+			}
+		}
+	case server.StaticPriority:
+		delays := spLocalDelays(net, s, conns, p)
+		for i, c := range conns {
+			if !p.advance(c, []int{s}, delays[i], 1) {
+				return false, nil
+			}
+		}
+	case server.GuaranteedRate:
+		for _, c := range conns {
+			beta, gerr := grServiceCurve(net, s, c)
+			if gerr != nil {
+				return false, gerr
+			}
+			dc := minplus.HorizontalDeviation(p.env[c], beta)
+			if !p.advance(c, []int{s}, dc, 1) {
+				return false, nil
+			}
+		}
+	case server.EDF:
+		delays, eerr := edfLocalDelays(net, s, conns, p)
+		if eerr != nil {
+			return false, eerr
+		}
+		for i, c := range conns {
+			if !p.advance(c, []int{s}, delays[i], 1) {
+				return false, nil
+			}
+		}
+	default:
+		return false, fmt.Errorf("analysis: unsupported discipline %v at server %d", srv.Discipline, s)
+	}
+	return true, nil
 }

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"delaycalc/internal/minplus"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// This file implements incremental re-analysis: a Baseline records, for a
+// fully analyzed network, the propagation state after every analysis unit
+// (one server for Decomposed, one chain for Integrated), and Extend
+// re-analyzes the network with one extra connection by recomputing only the
+// units the candidate can influence and replaying the recorded state for
+// every other unit.
+//
+// Why replay is exact: both analyzers process units in a topological order
+// consistent with every connection's route, so when a unit is processed,
+// each crossing connection is entering it with its state fully determined
+// by the units it crossed before. A unit's computation is a deterministic
+// pure function of its servers and the entry states of its crossing
+// connections. Mark the candidate dirty; process the trial partition in
+// order; a unit is dirty iff its server tuple did not exist in the baseline
+// partition or some crossing connection is dirty, and every connection
+// crossing a dirty unit becomes dirty. By induction, a clean unit sees
+// exactly the entry states of the baseline run, so its recorded outputs are
+// bit-identical to what recomputation would produce. The dirty relation is
+// precisely the downstream interference closure of the candidate's route:
+// propagated output burstiness makes interference transitive, and the
+// closure over the server-sharing graph (lifted to partition units) is how
+// it spreads. See docs/INCREMENTAL.md for the full argument.
+
+// Incremental is implemented by analyzers that support baseline+extend
+// re-analysis. Extend results are bit-identical to a full Analyze of the
+// extended network.
+type Incremental interface {
+	Analyzer
+	// NewBaseline fully analyzes the network and retains the per-unit
+	// propagation trace needed by Extend.
+	NewBaseline(net *topo.Network) (*Baseline, error)
+}
+
+// Compile-time checks: the two analyzers the admission engine accelerates.
+var (
+	_ Incremental = Decomposed{}
+	_ Incremental = Integrated{}
+)
+
+// stepCore is the analyzer-specific machinery behind the shared driver: an
+// ordered partition of the network into units, and the computation that
+// advances the propagation state across one unit.
+type stepCore interface {
+	name() string
+	// check validates analyzer-specific preconditions (e.g. FIFO-only) on
+	// the normalized network.
+	check(net *topo.Network) error
+	// units returns the ordered partition of the normalized network.
+	units(net *topo.Network) ([]unitSpec, error)
+	// apply runs the unit's computation. ok=false degrades the whole
+	// analysis to +Inf, exactly as in the full pass.
+	apply(net *topo.Network, u unitSpec, p *propagation) (ok bool, err error)
+}
+
+// unitSpec identifies one analysis unit by the servers it covers.
+type unitSpec struct {
+	servers []int
+}
+
+// key is the unit's identity across partitions: the exact server tuple.
+func (u unitSpec) key() string {
+	var b strings.Builder
+	for i, s := range u.servers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+// crossing returns the indices of connections with a hop in the unit, in
+// increasing order.
+func (u unitSpec) crossing(net *topo.Network) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for i, c := range net.Connections {
+		for _, hop := range c.Path {
+			for _, s := range u.servers {
+				if hop == s && !seen[i] {
+					seen[i] = true
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// connTrace is one connection's propagation state immediately after a unit.
+type connTrace struct {
+	env    minplus.Curve
+	delay  float64
+	next   int
+	stages []Stage
+}
+
+// unitTrace records the post-unit state of every crossing connection and
+// the backlog bounds of the unit's servers. All values are in normalized
+// units and immutable once recorded.
+type unitTrace struct {
+	post    map[int]connTrace
+	backlog map[int]float64
+}
+
+// recordUnit snapshots the propagation state after a unit was applied.
+func recordUnit(u unitSpec, conns []int, p *propagation) *unitTrace {
+	t := &unitTrace{
+		post:    make(map[int]connTrace, len(conns)),
+		backlog: make(map[int]float64, len(u.servers)),
+	}
+	for _, c := range conns {
+		t.post[c] = connTrace{
+			env:    p.env[c],
+			delay:  p.delay[c],
+			next:   p.next[c],
+			stages: append([]Stage(nil), p.stage[c]...),
+		}
+	}
+	for _, s := range u.servers {
+		t.backlog[s] = p.backlog[s]
+	}
+	return t
+}
+
+// replayUnit splices the recorded post-unit state into the propagation.
+func replayUnit(t *unitTrace, p *propagation) {
+	for c, st := range t.post {
+		p.env[c] = st.env
+		p.delay[c] = st.delay
+		p.next[c] = st.next
+		p.stage[c] = append([]Stage(nil), st.stages...)
+	}
+	for s, b := range t.backlog {
+		p.backlog[s] = b
+	}
+}
+
+// Baseline is a fully analyzed network plus the per-unit trace that Extend
+// reuses. A Baseline is immutable and safe for concurrent Extend calls.
+type Baseline struct {
+	core  stepCore
+	orig  *topo.Network // caller-unit copy of the analyzed network
+	norm  *topo.Network // normalized view (aliases orig when scale == 1)
+	scale float64
+	res   *Result // normalized-internal result
+	trace map[string]*unitTrace
+	// unstable marks a baseline whose own network is unstable or
+	// unbounded; Extend degenerates to all-Inf exactly like the full pass.
+	unstable bool
+}
+
+// NewBaseline implements Incremental for the decomposed analysis.
+func (Decomposed) NewBaseline(net *topo.Network) (*Baseline, error) {
+	return newBaseline(decomposedCore{}, net)
+}
+
+// NewBaseline implements Incremental for the integrated analysis.
+func (a Integrated) NewBaseline(net *topo.Network) (*Baseline, error) {
+	return newBaseline(integratedCore{a}, net)
+}
+
+// copyNetwork clones the network's top-level slices so the baseline owns
+// its view of servers and connections.
+func copyNetwork(net *topo.Network) *topo.Network {
+	cp := &topo.Network{
+		Servers:     make([]server.Server, len(net.Servers)),
+		Connections: make([]topo.Connection, len(net.Connections)),
+	}
+	copy(cp.Servers, net.Servers)
+	copy(cp.Connections, net.Connections)
+	return cp
+}
+
+func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
+	if err := checkAnalyzable(net); err != nil {
+		return nil, err
+	}
+	orig := copyNetwork(net)
+	norm, scale := normalizeNetwork(orig)
+	if err := core.check(norm); err != nil {
+		return nil, err
+	}
+	b := &Baseline{core: core, orig: orig, norm: norm, scale: scale, trace: map[string]*unitTrace{}}
+	if !norm.Stable() {
+		b.unstable = true
+		b.res = allInf(core.name(), norm)
+		return b, nil
+	}
+	units, err := core.units(norm)
+	if err != nil {
+		return nil, err
+	}
+	p := newPropagation(norm)
+	for _, u := range units {
+		ok, err := core.apply(norm, u, p)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			b.unstable = true
+			b.res = allInf(core.name(), norm)
+			return b, nil
+		}
+		b.trace[u.key()] = recordUnit(u, u.crossing(norm), p)
+	}
+	b.res = p.result(core.name())
+	return b, nil
+}
+
+// Result returns the baseline's full analysis result in the caller's
+// units. The returned slices are copies.
+func (b *Baseline) Result() *Result {
+	return exportResult(b.res, b.scale)
+}
+
+// Connections returns how many connections the baseline covers.
+func (b *Baseline) Connections() int { return len(b.orig.Connections) }
+
+// exportResult copies a normalized-internal result and converts bit-valued
+// bounds back to caller units (delays are scale-invariant).
+func exportResult(r *Result, scale float64) *Result {
+	out := &Result{
+		Algorithm: r.Algorithm,
+		Bounds:    append([]float64(nil), r.Bounds...),
+		Stages:    append([][]Stage(nil), r.Stages...),
+		Backlogs:  append([]float64(nil), r.Backlogs...),
+	}
+	return denormalizeBacklogs(out, scale)
+}
+
+// normalizeConnection rescales one connection's bit-valued parameters,
+// using exactly the operations normalizeNetwork applies, so incremental
+// and full analyses see bit-identical inputs.
+func normalizeConnection(c *topo.Connection, scale float64) {
+	c.Bucket.Sigma /= scale
+	c.Bucket.Rho /= scale
+	c.AccessRate /= scale
+	c.Rate /= scale
+	if c.Envelope != nil {
+		scaled := minplus.ScaleY(*c.Envelope, 1/scale)
+		c.Envelope = &scaled
+	}
+}
+
+// ExtendStats describes how much work an Extend call avoided.
+type ExtendStats struct {
+	// Affected counts the existing connections whose bounds had to be
+	// recomputed (the candidate itself is not counted).
+	Affected int
+	// RecomputedUnits and ReplayedUnits partition the trial partition's
+	// units into those analyzed for real and those spliced from cache.
+	RecomputedUnits int
+	ReplayedUnits   int
+}
+
+// Extension is the outcome of extending a baseline with one candidate.
+type Extension struct {
+	Stats    ExtendStats
+	res      *Result
+	scale    float64
+	promoted *Baseline
+}
+
+// Result returns the trial network's analysis result (admitted connections
+// first, the candidate last) in caller units. The slices are copies.
+func (e *Extension) Result() *Result { return exportResult(e.res, e.scale) }
+
+// Promote returns a Baseline for the extended network, reusing every
+// replayed unit's trace, so committing an admission costs no extra
+// analysis. The promoted baseline is independent of the original.
+func (e *Extension) Promote() *Baseline { return e.promoted }
+
+// Extend analyzes the baseline's network plus one candidate connection,
+// recomputing only the units inside the candidate's interference closure.
+// The result is bit-identical to core's full analysis of the trial
+// network.
+func (b *Baseline) Extend(cand topo.Connection) (*Extension, error) {
+	// Trial in caller units, candidate appended last so existing
+	// connection indices are stable.
+	trialOrig := &topo.Network{
+		Servers:     b.orig.Servers,
+		Connections: append(append([]topo.Connection(nil), b.orig.Connections...), cand),
+	}
+	if err := checkAnalyzable(trialOrig); err != nil {
+		return nil, err
+	}
+	// Trial in normalized units: the scale depends only on the servers,
+	// which the candidate does not change.
+	trial := trialOrig
+	if b.scale != 1 {
+		ncand := cand
+		normalizeConnection(&ncand, b.scale)
+		trial = &topo.Network{
+			Servers:     b.norm.Servers,
+			Connections: append(append([]topo.Connection(nil), b.norm.Connections...), ncand),
+		}
+	}
+	if err := b.core.check(trial); err != nil {
+		return nil, err
+	}
+	mkExt := func(res *Result, stats ExtendStats, promoted *Baseline) *Extension {
+		return &Extension{Stats: stats, res: res, scale: b.scale, promoted: promoted}
+	}
+	// An unstable baseline has an empty trace, so the loop below simply
+	// recomputes every unit — still exact, never wrong.
+	if !trial.Stable() {
+		// The full pass would degrade everything to +Inf before any unit
+		// ran; an unstable trial is never committed, but keep Promote
+		// total by handing back an unstable baseline.
+		res := allInf(b.core.name(), trial)
+		promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
+			res: res, trace: map[string]*unitTrace{}, unstable: true}
+		return mkExt(res, ExtendStats{Affected: len(b.orig.Connections)}, promoted), nil
+	}
+	units, err := b.core.units(trial)
+	if err != nil {
+		return nil, err
+	}
+	p := newPropagation(trial)
+	candIdx := len(trial.Connections) - 1
+	dirty := map[int]bool{candIdx: true}
+	stats := ExtendStats{}
+	newTrace := make(map[string]*unitTrace, len(units))
+	for _, u := range units {
+		conns := u.crossing(trial)
+		old := b.trace[u.key()]
+		isDirty := old == nil
+		if !isDirty {
+			for _, c := range conns {
+				if dirty[c] {
+					isDirty = true
+					break
+				}
+			}
+		}
+		if isDirty {
+			ok, err := b.core.apply(trial, u, p)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				res := allInf(b.core.name(), trial)
+				promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
+					res: res, trace: map[string]*unitTrace{}, unstable: true}
+				return mkExt(res, ExtendStats{Affected: len(b.orig.Connections)}, promoted), nil
+			}
+			for _, c := range conns {
+				dirty[c] = true
+			}
+			newTrace[u.key()] = recordUnit(u, conns, p)
+			stats.RecomputedUnits++
+		} else {
+			replayUnit(old, p)
+			newTrace[u.key()] = old
+			stats.ReplayedUnits++
+		}
+	}
+	stats.Affected = len(dirty) - 1
+	promoted := &Baseline{
+		core:  b.core,
+		orig:  trialOrig,
+		norm:  trial,
+		scale: b.scale,
+		res:   p.result(b.core.name()),
+		trace: newTrace,
+	}
+	return mkExt(promoted.res, stats, promoted), nil
+}
+
+// decomposedCore adapts the decomposition analysis to the driver: one unit
+// per server, in topological order.
+type decomposedCore struct{}
+
+func (decomposedCore) name() string                  { return "Decomposed" }
+func (decomposedCore) check(net *topo.Network) error { return nil }
+
+func (decomposedCore) units(net *topo.Network) ([]unitSpec, error) {
+	order, err := net.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	units := make([]unitSpec, len(order))
+	for i, s := range order {
+		units[i] = unitSpec{servers: []int{s}}
+	}
+	return units, nil
+}
+
+func (decomposedCore) apply(net *topo.Network, u unitSpec, p *propagation) (bool, error) {
+	return decomposedServerStep(net, u.servers[0], p)
+}
+
+// integratedCore adapts the integrated analysis: one unit per chain of the
+// partition, in subnetwork topological order.
+type integratedCore struct {
+	a Integrated
+}
+
+func (ic integratedCore) name() string { return "Integrated" }
+
+func (ic integratedCore) check(net *topo.Network) error {
+	for i, s := range net.Servers {
+		if s.Discipline != server.FIFO {
+			return fmt.Errorf("analysis: Integrated applies to FIFO networks; server %d is %v", i, s.Discipline)
+		}
+	}
+	return nil
+}
+
+func (ic integratedCore) units(net *topo.Network) ([]unitSpec, error) {
+	subnets, err := ic.a.partition(net)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := orderSubnetworks(net, subnets)
+	if err != nil {
+		return nil, err
+	}
+	units := make([]unitSpec, len(ordered))
+	for i, sn := range ordered {
+		units[i] = unitSpec{servers: sn.servers}
+	}
+	return units, nil
+}
+
+func (ic integratedCore) apply(net *topo.Network, u unitSpec, p *propagation) (bool, error) {
+	return analyzeChain(net, u.servers, p, ic.a.DeconvPropagation), nil
+}

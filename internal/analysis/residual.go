@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"sort"
 
 	"delaycalc/internal/minplus"
 )
@@ -51,5 +52,9 @@ func thetaCandidates(capacity float64, cross minplus.Curve, scale float64) []flo
 	for v := range set {
 		out = append(out, v)
 	}
+	// Sorted so that downstream search strategies (coordinate descent on
+	// long chains) visit candidates in a deterministic order; the pair
+	// enumeration is order-independent either way.
+	sort.Float64s(out)
 	return out
 }

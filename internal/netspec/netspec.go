@@ -231,32 +231,39 @@ func ToSpec(net *topo.Network) *Spec {
 		})
 	}
 	for _, c := range net.Connections {
-		cs := ConnectionSpec{
-			Name:       c.Name,
-			Sigma:      c.Bucket.Sigma,
-			Rho:        c.Bucket.Rho,
-			AccessRate: c.AccessRate,
-			Priority:   c.Priority,
-			Rate:       c.Rate,
-			Deadline:   c.Deadline,
-		}
-		if c.Envelope != nil {
-			es := &EnvelopeSpec{Slope: c.Envelope.FinalSlope()}
-			for _, p := range c.Envelope.Points() {
-				es.Points = append(es.Points, [2]float64{p.X, p.Y})
-			}
-			cs.Envelope = es
-		}
-		for _, hop := range c.Path {
-			var raw json.RawMessage
-			if name := net.Servers[hop].Name; name != "" {
-				raw, _ = json.Marshal(name)
-			} else {
-				raw, _ = json.Marshal(hop)
-			}
-			cs.Path = append(cs.Path, raw)
-		}
-		spec.Connections = append(spec.Connections, cs)
+		spec.Connections = append(spec.Connections, ConnectionToSpec(c, net.Servers))
 	}
 	return &spec
+}
+
+// ConnectionToSpec converts one connection into its serializable form,
+// naming path hops by server name when available. Hops are assumed to be
+// valid indices into servers.
+func ConnectionToSpec(c topo.Connection, servers []server.Server) ConnectionSpec {
+	cs := ConnectionSpec{
+		Name:       c.Name,
+		Sigma:      c.Bucket.Sigma,
+		Rho:        c.Bucket.Rho,
+		AccessRate: c.AccessRate,
+		Priority:   c.Priority,
+		Rate:       c.Rate,
+		Deadline:   c.Deadline,
+	}
+	if c.Envelope != nil {
+		es := &EnvelopeSpec{Slope: c.Envelope.FinalSlope()}
+		for _, p := range c.Envelope.Points() {
+			es.Points = append(es.Points, [2]float64{p.X, p.Y})
+		}
+		cs.Envelope = es
+	}
+	for _, hop := range c.Path {
+		var raw json.RawMessage
+		if name := servers[hop].Name; name != "" {
+			raw, _ = json.Marshal(name)
+		} else {
+			raw, _ = json.Marshal(hop)
+		}
+		cs.Path = append(cs.Path, raw)
+	}
+	return cs
 }

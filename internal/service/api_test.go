@@ -1,0 +1,265 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestV1AliasesAndLegacyDeprecation drives every legacy spelling through
+// the full handler stack: each must behave exactly like its canonical /v1
+// route and carry the Deprecation header with a successor-version link,
+// while canonical routes stay header-free.
+func TestV1AliasesAndLegacyDeprecation(t *testing.T) {
+	srv := newTestServer(t, nil)
+
+	// POST /admit and POST /v1/admit are spellings of POST /v1/connections.
+	w := do(t, srv, "POST", "/v1/admit", admitBody)
+	if w.Code != http.StatusOK || !decode[AdmitResponse](t, w).Admitted {
+		t.Fatalf("/v1/admit: %d %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Deprecation") != "" {
+		t.Fatalf("/v1/admit is not deprecated, got header %q", w.Header().Get("Deprecation"))
+	}
+
+	legacy := []struct {
+		method, path, body, canonical string
+		want                          int
+	}{
+		{"POST", "/connections", strings.Replace(admitBody, `"video"`, `"v2"`, 1), "/v1/connections", http.StatusOK},
+		{"POST", "/admit", strings.Replace(admitBody, `"video"`, `"v3"`, 1), "/v1/connections", http.StatusOK},
+		{"GET", "/connections", "", "/v1/connections", http.StatusOK},
+		{"POST", "/analyze", analyzeBody, "/v1/analyze", http.StatusOK},
+		{"GET", "/metrics", "", "/v1/metrics", http.StatusOK},
+		{"GET", "/healthz", "", "/v1/healthz", http.StatusOK},
+		{"DELETE", "/connections/v2", "", "/v1/connections/{name}", http.StatusOK},
+	}
+	for _, c := range legacy {
+		w := do(t, srv, c.method, c.path, c.body)
+		if w.Code != c.want {
+			t.Errorf("%s %s: want %d, got %d %s", c.method, c.path, c.want, w.Code, w.Body)
+			continue
+		}
+		if w.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s %s: legacy route missing Deprecation header", c.method, c.path)
+		}
+		link := w.Header().Get("Link")
+		if !strings.Contains(link, c.canonical) || !strings.Contains(link, "successor-version") {
+			t.Errorf("%s %s: Link header %q does not point at %s", c.method, c.path, link, c.canonical)
+		}
+	}
+
+	// Canonical routes answer without deprecation headers.
+	w = do(t, srv, "GET", "/v1/connections", "")
+	if w.Code != http.StatusOK || w.Header().Get("Deprecation") != "" {
+		t.Fatalf("canonical route deprecated itself: %d %q", w.Code, w.Header().Get("Deprecation"))
+	}
+	if w := do(t, srv, "GET", "/v1/metrics", ""); w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: %d", w.Code)
+	}
+	if w := do(t, srv, "GET", "/v1/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/healthz: %d", w.Code)
+	}
+}
+
+// TestLegacyRoutesShareMetricsLabel pins the cardinality contract: a
+// request through a legacy spelling is counted under its canonical label.
+func TestLegacyRoutesShareMetricsLabel(t *testing.T) {
+	srv := newTestServer(t, nil)
+	do(t, srv, "POST", "/connections", admitBody)
+	do(t, srv, "POST", "/v1/connections", strings.Replace(admitBody, `"video"`, `"w"`, 1))
+	if n := srv.Metrics().RequestCount("POST /v1/connections", http.StatusOK); n != 2 {
+		t.Fatalf("canonical label count %d, want 2 (legacy + canonical)", n)
+	}
+	if n := srv.Metrics().RequestCount("POST /connections", http.StatusOK); n != 0 {
+		t.Fatalf("legacy spelling leaked its own metrics label (%d)", n)
+	}
+}
+
+// TestErrorEnvelopeCodes asserts the error envelope shape
+// {"error":{"code","message"}} and the stable code for every failure mode.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 512 })
+	cases := []struct {
+		label, method, path, body string
+		status                    int
+		code                      string
+	}{
+		{"malformed JSON", "POST", "/v1/connections", `{"connection": `, http.StatusBadRequest, CodeInvalidSpec},
+		{"unknown server", "POST", "/v1/connections",
+			`{"connection": {"name": "x", "sigma": 1, "rho": 0.1, "path": ["nope"], "deadline": 5}}`,
+			http.StatusBadRequest, CodeInvalidSpec},
+		{"no deadline", "POST", "/v1/connections",
+			`{"connection": {"name": "x", "sigma": 1, "rho": 0.1, "path": ["s0"]}}`,
+			http.StatusBadRequest, CodeInvalidSpec},
+		{"unknown analyzer", "POST", "/v1/analyze",
+			strings.Replace(analyzeBody, `"integrated"`, `"quantum"`, 1),
+			http.StatusBadRequest, CodeUnknownAnalyzer},
+		{"remove missing", "DELETE", "/v1/connections/ghost", "", http.StatusNotFound, CodeNotFound},
+		{"oversized body", "POST", "/v1/connections",
+			`{"connection": {"name": "` + strings.Repeat("x", 600) + `"}}`,
+			http.StatusRequestEntityTooLarge, CodeBodyTooLarge},
+	}
+	for _, c := range cases {
+		w := do(t, srv, c.method, c.path, c.body)
+		if w.Code != c.status {
+			t.Errorf("%s: want %d, got %d %s", c.label, c.status, w.Code, w.Body)
+			continue
+		}
+		env := decode[errorResponse](t, w)
+		if env.Error.Code != c.code {
+			t.Errorf("%s: want code %q, got %q (%s)", c.label, c.code, env.Error.Code, w.Body)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", c.label)
+		}
+	}
+}
+
+// TestErrorEnvelopeTimeout pins the timeout code on both timed endpoints.
+func TestErrorEnvelopeTimeout(t *testing.T) {
+	srv := newTestServer(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
+	for _, c := range []struct{ path, body string }{
+		{"/v1/analyze", analyzeBody},
+		{"/v1/connections", admitBody},
+		{"/v1/admit/batch", `{"connections": [` + connectionOf(admitBody) + `]}`},
+	} {
+		w := do(t, srv, "POST", c.path, c.body)
+		if w.Code != http.StatusGatewayTimeout {
+			t.Fatalf("%s: want 504, got %d %s", c.path, w.Code, w.Body)
+		}
+		if env := decode[errorResponse](t, w); env.Error.Code != CodeTimeout {
+			t.Fatalf("%s: want code %q, got %s", c.path, CodeTimeout, w.Body)
+		}
+	}
+}
+
+// connectionOf extracts the connection object from an AdmitRequest body.
+func connectionOf(admitBody string) string {
+	s := strings.TrimPrefix(admitBody, `{"connection": `)
+	return strings.TrimSuffix(s, `}`)
+}
+
+// TestAdmitRejectionCarriesCodeAndViolations checks the structured
+// rejection contract on the 200-level decision body: stable code plus the
+// violating connection with bound and deadline as fields, not prose.
+func TestAdmitRejectionCarriesCodeAndViolations(t *testing.T) {
+	srv := newTestServer(t, nil)
+	tight := strings.Replace(admitBody, `"deadline": 20`, `"deadline": 0.001`, 1)
+	tight = strings.Replace(tight, `"access_rate": 1, `, "", 1)
+	w := do(t, srv, "POST", "/v1/connections", tight)
+	resp := decode[AdmitResponse](t, w)
+	if w.Code != http.StatusOK || resp.Admitted {
+		t.Fatalf("want clean rejection, got %d %+v", w.Code, resp)
+	}
+	if resp.Code != CodeDeadlineMissed {
+		t.Fatalf("want code %q, got %q", CodeDeadlineMissed, resp.Code)
+	}
+	if len(resp.Violations) == 0 {
+		t.Fatal("rejection carries no violations")
+	}
+	v := resp.Violations[0]
+	if v.Connection != "video" || v.Deadline != 0.001 || float64(v.Bound) <= v.Deadline {
+		t.Fatalf("violation not structured: %+v", v)
+	}
+
+	// Unstable trials carry their own code.
+	unstable := strings.Replace(admitBody, `"rho": 0.02`, `"rho": 1.5`, 1)
+	unstable = strings.Replace(unstable, `"access_rate": 1, `, "", 1)
+	w = do(t, srv, "POST", "/v1/connections", unstable)
+	resp = decode[AdmitResponse](t, w)
+	if w.Code != http.StatusOK || resp.Admitted || resp.Code != CodeUnstable {
+		t.Fatalf("want unstable rejection, got %d %+v", w.Code, resp)
+	}
+}
+
+const batchBody = `{"connections": [
+  {"name": "b0", "sigma": 1, "rho": 0.02, "access_rate": 1, "path": ["s0", "s1"], "deadline": 20},
+  {"name": "b1", "sigma": 1, "rho": 0.02, "access_rate": 1, "path": ["s0"], "deadline": 20},
+  {"name": "tight", "sigma": 1, "rho": 0.02, "path": ["s0", "s1"], "deadline": 0.001},
+  {"name": "nodeadline", "sigma": 1, "rho": 0.02, "access_rate": 1, "path": ["s1"]}
+]}`
+
+func TestAdmitBatch(t *testing.T) {
+	srv := newTestServer(t, nil)
+	w := do(t, srv, "POST", "/v1/admit/batch", batchBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", w.Code, w.Body)
+	}
+	resp := decode[BatchAdmitResponse](t, w)
+	if resp.Admitted != 2 || resp.Rejected != 2 || resp.Count != 2 || len(resp.Results) != 4 {
+		t.Fatalf("batch outcome: %+v", resp)
+	}
+	if !resp.Results[0].Admitted || !resp.Results[1].Admitted {
+		t.Fatalf("good candidates rejected: %+v", resp.Results)
+	}
+	if r := resp.Results[2]; r.Admitted || r.Code != CodeDeadlineMissed || len(r.Violations) == 0 {
+		t.Fatalf("tight candidate: %+v", r)
+	}
+	if r := resp.Results[3]; r.Admitted || r.Code != CodeInvalidSpec || r.Reason == "" {
+		t.Fatalf("deadline-less candidate: %+v", r)
+	}
+	if srv.State().Count() != 2 {
+		t.Fatalf("state count %d, want 2", srv.State().Count())
+	}
+}
+
+func TestAdmitBatchDryRun(t *testing.T) {
+	srv := newTestServer(t, nil)
+	body := strings.TrimSuffix(batchBody, "}") + `, "dry_run": true}`
+	w := do(t, srv, "POST", "/v1/admit/batch", body)
+	resp := decode[BatchAdmitResponse](t, w)
+	if w.Code != http.StatusOK || !resp.DryRun || resp.Admitted != 2 {
+		t.Fatalf("dry-run batch: %d %+v", w.Code, resp)
+	}
+	if srv.State().Count() != 0 {
+		t.Fatalf("dry-run committed %d connections", srv.State().Count())
+	}
+}
+
+func TestAdmitBatchBadInput(t *testing.T) {
+	srv := newTestServer(t, nil)
+	cases := map[string]string{
+		"empty batch":    `{"connections": []}`,
+		"unknown server": `{"connections": [{"name": "x", "sigma": 1, "rho": 0.1, "path": ["ghost"], "deadline": 5}]}`,
+		"malformed":      `{"connections": `,
+	}
+	for label, body := range cases {
+		w := do(t, srv, "POST", "/v1/admit/batch", body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: want 400, got %d %s", label, w.Code, w.Body)
+		}
+		if env := decode[errorResponse](t, w); env.Error.Code != CodeInvalidSpec {
+			t.Errorf("%s: want code %q, got %s", label, CodeInvalidSpec, w.Body)
+		}
+	}
+	if srv.State().Count() != 0 {
+		t.Fatalf("bad batch mutated state: %d", srv.State().Count())
+	}
+}
+
+// TestEngineMetricsExposed checks the new admission-engine series on the
+// canonical metrics route.
+func TestEngineMetricsExposed(t *testing.T) {
+	srv := newTestServer(t, nil)
+	do(t, srv, "POST", "/v1/connections", admitBody)
+	do(t, srv, "POST", "/v1/connections", strings.Replace(admitBody, `"video"`, `"v2"`, 1))
+	w := do(t, srv, "GET", "/v1/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`delayd_admission_incremental_enabled 1`,
+		`delayd_admission_tests_total{mode="incremental"}`,
+		`delayd_admission_tests_total{mode="full"} 0`,
+		`delayd_admission_commit_conflicts_total 0`,
+		`delayd_admission_affected_connections_count 2`,
+		`delayd_admission_affected_connections_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}

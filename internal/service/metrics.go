@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"delaycalc/internal/admission"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (a +Inf bucket
@@ -161,6 +163,43 @@ func writeCacheMetrics(w io.Writer, c *Cache) {
 	fmt.Fprintln(w, "# HELP delayd_cache_entries Resident analyze-cache entries.")
 	fmt.Fprintln(w, "# TYPE delayd_cache_entries gauge")
 	gaugeLine(w, "delayd_cache_entries", "", float64(c.Len()))
+}
+
+// writeEngineMetrics renders the admission engine's counters: how many
+// tests ran incrementally versus as full re-analyses, how often an Admit
+// commit lost the version race, and the affected-set size histogram (how
+// many existing connections each test's incremental closure touched).
+func writeEngineMetrics(w io.Writer, st *State) {
+	stats := st.Engine().Stats()
+	fmt.Fprintln(w, "# HELP delayd_admission_incremental_enabled Whether the incremental analysis path is active.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_incremental_enabled gauge")
+	enabled := 0.0
+	if st.Engine().Incremental() {
+		enabled = 1
+	}
+	gaugeLine(w, "delayd_admission_incremental_enabled", "", enabled)
+
+	fmt.Fprintln(w, "# HELP delayd_admission_tests_total Admission analyses, by path.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_tests_total counter")
+	gaugeLine(w, "delayd_admission_tests_total", `mode="incremental"`, float64(stats.IncrementalTests))
+	gaugeLine(w, "delayd_admission_tests_total", `mode="full"`, float64(stats.FullTests))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_commit_conflicts_total Admit retries forced by a concurrent commit.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_commit_conflicts_total counter")
+	gaugeLine(w, "delayd_admission_commit_conflicts_total", "", float64(stats.CommitConflicts))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_affected_connections Admitted connections inside each test's interference closure.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_affected_connections histogram")
+	bounds := admission.AffectedBucketBounds()
+	cum := uint64(0)
+	for i, ub := range bounds {
+		cum += stats.AffectedBuckets[i]
+		gaugeLine(w, "delayd_admission_affected_connections_bucket",
+			fmt.Sprintf(`le="%s"`, strconv.FormatFloat(ub, 'g', -1, 64)), float64(cum))
+	}
+	gaugeLine(w, "delayd_admission_affected_connections_bucket", `le="+Inf"`, float64(stats.AffectedCount))
+	gaugeLine(w, "delayd_admission_affected_connections_sum", "", float64(stats.AffectedSum))
+	gaugeLine(w, "delayd_admission_affected_connections_count", "", float64(stats.AffectedCount))
 }
 
 // writeAdmissionMetrics renders the current admitted-set gauges.

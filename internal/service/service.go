@@ -40,7 +40,10 @@ type Config struct {
 }
 
 // Server is the delayd HTTP API: admission control over a live fabric plus
-// stateless analysis with caching, instrumented with Metrics.
+// stateless analysis with caching, instrumented with Metrics. All
+// endpoints live under /v1/; the unprefixed spellings from before the API
+// was versioned still work but answer with a Deprecation header pointing
+// at their successor.
 type Server struct {
 	state   *State
 	cache   *Cache
@@ -49,6 +52,38 @@ type Server struct {
 	timeout time.Duration
 	maxBody int64
 	mux     *http.ServeMux
+}
+
+// route is one row of the Server's registration table: a canonical
+// /v1-prefixed pattern, optional same-version aliases, and optional
+// deprecated legacy (unprefixed) spellings. Aliases and legacy routes are
+// instrumented under the canonical label so metrics cardinality does not
+// depend on which spelling clients use.
+type route struct {
+	method    string
+	canonical string   // path under /v1
+	aliases   []string // additional non-deprecated spellings
+	legacy    []string // deprecated pre-versioning spellings
+	handler   http.HandlerFunc
+}
+
+// routes is the single registration table for every endpoint.
+func (s *Server) routes() []route {
+	return []route{
+		{method: "POST", canonical: "/v1/connections", handler: s.handleAdmit,
+			aliases: []string{"/v1/admit"}, legacy: []string{"/connections", "/admit"}},
+		{method: "GET", canonical: "/v1/connections", handler: s.handleList,
+			legacy: []string{"/connections"}},
+		{method: "DELETE", canonical: "/v1/connections/{name}", handler: s.handleRemove,
+			legacy: []string{"/connections/{name}"}},
+		{method: "POST", canonical: "/v1/admit/batch", handler: s.handleAdmitBatch},
+		{method: "POST", canonical: "/v1/analyze", handler: s.handleAnalyze,
+			legacy: []string{"/analyze"}},
+		{method: "GET", canonical: "/v1/metrics", handler: s.handleMetrics,
+			legacy: []string{"/metrics"}},
+		{method: "GET", canonical: "/v1/healthz", handler: s.handleHealthz,
+			legacy: []string{"/healthz"}},
+	}
 }
 
 // NewServer assembles the API around an admission state.
@@ -77,13 +112,27 @@ func NewServer(cfg Config) (*Server, error) {
 		s.maxBody = DefaultMaxBodyBytes
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/connections", s.instrument("POST /v1/connections", s.handleAdmit))
-	s.mux.HandleFunc("GET /v1/connections", s.instrument("GET /v1/connections", s.handleList))
-	s.mux.HandleFunc("DELETE /v1/connections/{name}", s.instrument("DELETE /v1/connections/{name}", s.handleRemove))
-	s.mux.HandleFunc("POST /v1/analyze", s.instrument("POST /v1/analyze", s.handleAnalyze))
-	s.mux.HandleFunc("GET /metrics", s.instrument("GET /metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealthz))
+	for _, rt := range s.routes() {
+		label := rt.method + " " + rt.canonical
+		s.mux.HandleFunc(label, s.instrument(label, rt.handler))
+		for _, alias := range rt.aliases {
+			s.mux.HandleFunc(rt.method+" "+alias, s.instrument(label, rt.handler))
+		}
+		for _, old := range rt.legacy {
+			s.mux.HandleFunc(rt.method+" "+old, s.instrument(label, deprecated(rt.canonical, rt.handler)))
+		}
+	}
 	return s, nil
+}
+
+// deprecated marks responses from a legacy spelling with the standard
+// Deprecation header and a successor-version link to the canonical path.
+func deprecated(canonical string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", canonical, "successor-version"))
+		h(w, r)
+	}
 }
 
 // ServeHTTP dispatches to the instrumented mux.
@@ -128,7 +177,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			if p := recover(); p != nil {
 				s.log.Error("panic", "endpoint", endpoint, "panic", p)
 				if rec.status == http.StatusOK {
-					writeError(rec, http.StatusInternalServerError, "internal error")
+					writeError(rec, http.StatusInternalServerError, CodeInternal, "internal error")
 				}
 			}
 			elapsed := time.Since(start)
@@ -145,9 +194,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-// errorResponse is the JSON body of every non-2xx reply.
+// Stable machine-readable error codes carried by every non-2xx reply's
+// envelope. The admission codes are shared with package admission so a
+// Decision's code and the envelope's code can never drift apart.
+const (
+	CodeInvalidSpec     = admission.CodeInvalidSpec
+	CodeDeadlineMissed  = admission.CodeDeadlineMissed
+	CodeUnstable        = admission.CodeUnstable
+	CodeUnknownAnalyzer = "unknown_analyzer"
+	CodeTimeout         = "timeout"
+	CodeNotFound        = "not_found"
+	CodeBodyTooLarge    = "body_too_large"
+	CodeInternal        = "internal"
+)
+
+// ErrorDetail is the payload of the error envelope: a stable
+// machine-readable code plus a human-readable message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorResponse is the JSON envelope of every non-2xx reply:
+//
+//	{"error": {"code": "...", "message": "..."}}
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -158,8 +230,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: ErrorDetail{Code: code, Message: msg}})
 }
 
 // decodeBody decodes a JSON request body strictly, mapping the failure
@@ -170,16 +242,16 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "invalid JSON: "+err.Error())
 		return false
 	}
 	// Reject trailing garbage after the document.
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
-		writeError(w, http.StatusBadRequest, "invalid JSON: trailing data after document")
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "invalid JSON: trailing data after document")
 		return false
 	}
 	return true
@@ -207,6 +279,26 @@ func toBounds(fs []float64) []Bound {
 	return out
 }
 
+// ViolationSpec mirrors admission.Violation in JSON: one connection whose
+// deadline the trial network would miss, with the offending bound (null
+// when unbounded) and the deadline as structured fields.
+type ViolationSpec struct {
+	Connection string  `json:"connection"`
+	Bound      Bound   `json:"bound"`
+	Deadline   float64 `json:"deadline"`
+}
+
+func toViolations(vs []admission.Violation) []ViolationSpec {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]ViolationSpec, len(vs))
+	for i, v := range vs {
+		out[i] = ViolationSpec{Connection: v.Connection, Bound: Bound(v.Bound), Deadline: v.Deadline}
+	}
+	return out
+}
+
 // AdmitRequest is the body of POST /v1/connections.
 type AdmitRequest struct {
 	Connection netspec.ConnectionSpec `json:"connection"`
@@ -214,13 +306,17 @@ type AdmitRequest struct {
 	DryRun bool `json:"dry_run,omitempty"`
 }
 
-// AdmitResponse reports an admission decision.
+// AdmitResponse reports an admission decision. Code carries the stable
+// rejection code (deadline_missed, unstable, ...) and Violations the full
+// list of deadline violations; Reason stays the human-readable summary.
 type AdmitResponse struct {
-	Admitted bool    `json:"admitted"`
-	DryRun   bool    `json:"dry_run,omitempty"`
-	Reason   string  `json:"reason,omitempty"`
-	Bounds   []Bound `json:"bounds,omitempty"`
-	Count    int     `json:"count"`
+	Admitted   bool            `json:"admitted"`
+	DryRun     bool            `json:"dry_run,omitempty"`
+	Code       string          `json:"code,omitempty"`
+	Reason     string          `json:"reason,omitempty"`
+	Violations []ViolationSpec `json:"violations,omitempty"`
+	Bounds     []Bound         `json:"bounds,omitempty"`
+	Count      int             `json:"count"`
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
@@ -230,22 +326,21 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	index, err := netspec.ServerIndex(s.state.Servers())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	cand, err := netspec.ConnectionFromSpec(&req.Connection, index)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
 		return
 	}
 	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded")
 		return
 	}
-	// The admission test itself runs synchronously under the state lock:
-	// it cannot be cancelled midway, and completing it keeps the admitted
-	// set deterministic — a timed-out client never leaves the fabric in an
-	// unknown state.
+	// The admission test analyzes an immutable snapshot outside any lock;
+	// Admit commits with a version check and retries on conflict, so a
+	// timed-out client still never leaves the fabric in an unknown state.
 	var d admission.Decision
 	if req.DryRun {
 		d, err = s.state.Test(cand)
@@ -253,16 +348,119 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		d, err = s.state.Admit(cand)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		code := d.Code
+		if code == "" {
+			code = CodeInvalidSpec
+		}
+		writeError(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, AdmitResponse{
-		Admitted: d.Admitted,
-		DryRun:   req.DryRun,
-		Reason:   d.Reason,
-		Bounds:   toBounds(d.Bounds),
-		Count:    s.state.Count(),
+		Admitted:   d.Admitted,
+		DryRun:     req.DryRun,
+		Code:       d.Code,
+		Reason:     d.Reason,
+		Violations: toViolations(d.Violations),
+		Bounds:     toBounds(d.Bounds),
+		Count:      s.state.Count(),
 	})
+}
+
+// BatchAdmitRequest is the body of POST /v1/admit/batch: candidates are
+// tested and committed in order, each against the set as left by its
+// predecessors (greedy semantics, like repeated POST /v1/connections).
+type BatchAdmitRequest struct {
+	Connections []netspec.ConnectionSpec `json:"connections"`
+	// DryRun tests every candidate without committing any of them; each
+	// candidate is then judged against the current admitted set alone.
+	DryRun bool `json:"dry_run,omitempty"`
+}
+
+// BatchAdmitItem is one per-candidate outcome inside a batch response.
+type BatchAdmitItem struct {
+	Connection string          `json:"connection"`
+	Admitted   bool            `json:"admitted"`
+	Code       string          `json:"code,omitempty"`
+	Reason     string          `json:"reason,omitempty"`
+	Violations []ViolationSpec `json:"violations,omitempty"`
+	// MaxBound is the largest per-connection bound of the item's trial
+	// analysis; null when unbounded or when the candidate never analyzed.
+	MaxBound Bound `json:"max_bound"`
+}
+
+// BatchAdmitResponse reports the whole batch: per-candidate outcomes in
+// request order plus the totals.
+type BatchAdmitResponse struct {
+	DryRun   bool             `json:"dry_run,omitempty"`
+	Admitted int              `json:"admitted"`
+	Rejected int              `json:"rejected"`
+	Results  []BatchAdmitItem `json:"results"`
+	Count    int              `json:"count"`
+}
+
+func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchAdmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Connections) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "batch has no connections")
+		return
+	}
+	index, err := netspec.ServerIndex(s.state.Servers())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	// Resolve every spec up front so a typo in candidate 7 fails the batch
+	// before candidate 0 is committed.
+	cands := make([]topo.Connection, len(req.Connections))
+	for i := range req.Connections {
+		cand, err := netspec.ConnectionFromSpec(&req.Connections[i], index)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("connection %d: %v", i, err))
+			return
+		}
+		cands[i] = cand
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded")
+		return
+	}
+	resp := BatchAdmitResponse{DryRun: req.DryRun, Results: make([]BatchAdmitItem, 0, len(cands))}
+	for _, cand := range cands {
+		var d admission.Decision
+		var err error
+		if req.DryRun {
+			d, err = s.state.Test(cand)
+		} else {
+			d, err = s.state.Admit(cand)
+		}
+		item := BatchAdmitItem{
+			Connection: cand.Name,
+			Admitted:   d.Admitted,
+			Code:       d.Code,
+			Reason:     d.Reason,
+			Violations: toViolations(d.Violations),
+			MaxBound:   Bound(d.MaxBound()),
+		}
+		if err != nil {
+			// A per-candidate spec error (e.g. no deadline) rejects that
+			// candidate only; the rest of the batch proceeds.
+			item.Reason = err.Error()
+			if item.Code == "" {
+				item.Code = CodeInvalidSpec
+			}
+		}
+		if item.Admitted {
+			resp.Admitted++
+		} else {
+			resp.Rejected++
+		}
+		resp.Results = append(resp.Results, item)
+	}
+	resp.Count = s.state.Count()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ListResponse is the body of GET /v1/connections.
@@ -294,11 +492,11 @@ type RemoveResponse struct {
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if strings.TrimSpace(name) == "" {
-		writeError(w, http.StatusBadRequest, "empty connection name")
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "empty connection name")
 		return
 	}
 	if !s.state.Remove(name) {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no admitted connection named %q", name))
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no admitted connection named %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, RemoveResponse{Removed: name, Count: s.state.Count()})
@@ -335,17 +533,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	analyzer, err := PickAnalyzer(name)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeUnknownAnalyzer, err.Error())
 		return
 	}
 	net, err := netspec.FromSpec(&req.Network)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
 		return
 	}
 	digest, err := netspec.Digest(net)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	key := analyzer.Name() + ":" + digest
@@ -354,7 +552,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded")
 		return
 	}
 	// The analysis itself is stateless and may be slow on large networks,
@@ -375,10 +573,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}()
 	select {
 	case <-r.Context().Done():
-		writeError(w, http.StatusGatewayTimeout, "analysis did not finish before the request deadline")
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "analysis did not finish before the request deadline")
 	case out := <-done:
 		if out.err != nil {
-			writeError(w, http.StatusUnprocessableEntity, out.err.Error())
+			writeError(w, http.StatusUnprocessableEntity, CodeInvalidSpec, out.err.Error())
 			return
 		}
 		writeAnalyzeResponse(w, out.res, digest, false)
@@ -401,6 +599,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteText(w)
 	writeCacheMetrics(w, s.cache)
 	writeAdmissionMetrics(w, s.state)
+	writeEngineMetrics(w, s.state)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

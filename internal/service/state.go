@@ -6,34 +6,42 @@
 package service
 
 import (
-	"sync"
-
 	"delaycalc/internal/admission"
 	"delaycalc/internal/analysis"
 	"delaycalc/internal/server"
 	"delaycalc/internal/topo"
 )
 
-// State wraps admission.Controller (which is not goroutine-safe) behind a
-// mutex so that concurrent HTTP handlers can test, admit, and release
-// connections safely. All accessors return copies; no internal slice
-// escapes the lock.
+// State is the live admission fabric shared by concurrent HTTP handlers
+// and the CLIs. It is a thin veneer over admission.Engine: every test
+// analyzes an immutable snapshot OUTSIDE any lock and Admit commits with a
+// version check (retrying on conflict), so slow analyses never serialize
+// readers, and on incremental analyzers each test re-analyzes only the
+// candidate's interference closure. All accessors return copies.
 type State struct {
-	mu      sync.Mutex
-	ctrl    *admission.Controller
+	eng     *admission.Engine
 	servers []server.Server // immutable after construction
 }
 
-// NewState builds a locked admission state over the given fabric.
+// NewState builds an admission state over the given fabric.
 func NewState(servers []server.Server, analyzer analysis.Analyzer) (*State, error) {
-	ctrl, err := admission.New(servers, analyzer)
+	eng, err := admission.NewEngine(servers, analyzer)
 	if err != nil {
 		return nil, err
 	}
 	cp := make([]server.Server, len(servers))
 	copy(cp, servers)
-	return &State{ctrl: ctrl, servers: cp}, nil
+	return &State{eng: eng, servers: cp}, nil
 }
+
+// Engine exposes the underlying admission engine (used by metrics and
+// tests).
+func (s *State) Engine() *admission.Engine { return s.eng }
+
+// ForceFull disables the incremental analysis path; every admission test
+// re-analyzes the whole trial network. Intended for startup configuration
+// (delayd -incremental=false).
+func (s *State) ForceFull() { s.eng.ForceFull() }
 
 // Servers returns a copy of the fabric the state admits against.
 func (s *State) Servers() []server.Server {
@@ -44,60 +52,36 @@ func (s *State) Servers() []server.Server {
 
 // Test runs the admission test without committing the candidate.
 func (s *State) Test(cand topo.Connection) (admission.Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Test(cand)
+	return s.eng.Test(cand)
 }
 
 // Admit runs the admission test and commits the candidate on success.
 func (s *State) Admit(cand topo.Connection) (admission.Decision, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Admit(cand)
+	return s.eng.Admit(cand)
 }
 
 // Remove releases a previously admitted connection by name.
-func (s *State) Remove(name string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Remove(name)
-}
+func (s *State) Remove(name string) bool { return s.eng.Remove(name) }
 
 // Admitted returns a copy of the currently admitted connections.
-func (s *State) Admitted() []topo.Connection {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Admitted()
-}
+func (s *State) Admitted() []topo.Connection { return s.eng.Admitted() }
 
 // Count returns the number of admitted connections.
-func (s *State) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Count()
-}
+func (s *State) Count() int { return s.eng.Count() }
 
 // Utilization returns the per-server utilization of the admitted set.
-func (s *State) Utilization() []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Utilization()
-}
+func (s *State) Utilization() []float64 { return s.eng.Utilization() }
 
 // Snapshot returns the admitted set, per-server utilization, and count in
-// one consistent view (a single lock acquisition).
+// one consistent view (a single engine snapshot).
 func (s *State) Snapshot() (conns []topo.Connection, util []float64, count int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.Admitted(), s.ctrl.Utilization(), s.ctrl.Count()
+	snap := s.eng.Snapshot()
+	return snap.Admitted(), snap.Utilization(), snap.Count()
 }
 
 // FillGreedy admits numbered copies of the template until the first
-// rejection, holding the lock across the whole fill so that the count is
-// exact even with concurrent callers. It is the measurement loop used by
-// cmd/admit to compare admission capacity across analyzers.
+// rejection. It is the measurement loop used by cmd/admit to compare
+// admission capacity across analyzers.
 func (s *State) FillGreedy(template topo.Connection, limit int) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ctrl.FillGreedy(template, limit)
+	return s.eng.FillGreedy(template, limit)
 }
