@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-admit cover figures fuzz run-delayd clean
+.PHONY: all build test race bench bench-admit bench-curves cover figures fuzz run-delayd clean
 
 all: build test
 
@@ -24,6 +24,14 @@ bench:
 bench-admit:
 	$(GO) test -bench='BenchmarkFullTest|BenchmarkIncrementalTest' -benchmem -run '^$$' ./internal/admission
 
+# Curve-engine benchmarks (docs/PERFORMANCE.md): k-way aggregation vs the
+# pairwise fold, gated convolution, and the end-to-end integrated analysis
+# on the 64-switch/400-connection tandem. Emits BENCH_curves.json.
+bench-curves:
+	{ $(GO) test -bench='BenchmarkSumN|BenchmarkSumPairwiseFold|BenchmarkConvolveGated' -benchmem -run '^$$' ./internal/minplus ; \
+	  $(GO) test -bench='BenchmarkIntegratedAnalyze' -benchmem -run '^$$' ./internal/analysis ; } \
+	| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_curves.json
+
 cover:
 	$(GO) test -cover ./...
 
@@ -42,4 +50,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzIncrementalEquivalence -fuzztime=30s ./internal/admission
 
 clean:
-	rm -rf results
+	rm -rf results BENCH_curves.json

@@ -8,7 +8,7 @@
 //
 //	delayd [-addr :8080] [-algo integrated] (-spec net.json | -tandem 4 [-load 0.5])
 //	       [-cache 256] [-timeout 10s] [-max-body 1048576] [-shutdown-grace 10s]
-//	       [-incremental=true]
+//	       [-incremental=true] [-pprof]
 //
 // Endpoints (see docs/SERVICE.md for the full reference; the unprefixed
 // pre-versioning spellings still work but answer with a Deprecation
@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,7 @@ func main() {
 		maxBody  = flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum request body bytes")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "drain window after SIGINT/SIGTERM")
 		incr     = flag.Bool("incremental", true, "use incremental admission analysis when the analyzer supports it")
+		profile  = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "debug-level logging")
 	)
 	flag.Parse()
@@ -70,14 +72,14 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *maxBody, *grace, *incr); err != nil {
+	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *maxBody, *grace, *incr, *profile); err != nil {
 		logger.Error("delayd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, algo string,
-	cacheSz int, timeout time.Duration, maxBody int64, grace time.Duration, incremental bool) error {
+	cacheSz int, timeout time.Duration, maxBody int64, grace time.Duration, incremental, profile bool) error {
 
 	analyzer, err := service.PickAnalyzer(algo)
 	if err != nil {
@@ -126,9 +128,25 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 		return err
 	}
 
+	var handler http.Handler = api
+	if profile {
+		// Profiling endpoints carry no request deadline (a 30s CPU profile
+		// outlives -timeout), so they mount beside the API handler rather
+		// than behind its middleware. Do not enable on untrusted networks.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", api)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           api,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

@@ -15,7 +15,7 @@ func Example() {
 	rd, _ := delaycalc.NewDecomposed().Analyze(net)
 	fmt.Printf("integrated %.2f < decomposed %.2f\n", ri.Bound(0), rd.Bound(0))
 	// Output:
-	// integrated 15.50 < decomposed 21.06
+	// integrated 15.32 < decomposed 21.06
 }
 
 // ExampleNewAdmissionController shows the admission test that motivates

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"delaycalc/internal/minplus"
+)
+
+// sumSorted adds the map's curves in deterministic (key-sorted) order so
+// results do not depend on map iteration. It is the one shared aggregate
+// helper of the analysis layer (the FIFO and static-priority analyzers
+// both fold envelopes through it), built on the k-way minplus.SumN instead
+// of a pairwise Add fold.
+func sumSorted(m map[int]minplus.Curve) minplus.Curve {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	curves := make([]minplus.Curve, len(keys))
+	for i, k := range keys {
+		curves[i] = m[k]
+	}
+	return minplus.SumN(curves...)
+}
+
+// sumConns sums the envelopes of the listed connections at one position in
+// list order (callers keep run membership sorted).
+func sumConns(env map[int]minplus.Curve, conns []int) minplus.Curve {
+	curves := make([]minplus.Curve, len(conns))
+	for i, c := range conns {
+		curves[i] = env[c]
+	}
+	return minplus.SumN(curves...)
+}
+
+// runAggregates is the per-iteration aggregate cache of one chain: for
+// every chain position, the partial sum of each run's member envelopes at
+// that position. The total aggregate at a position and the entry/cross
+// aggregates of every interval the DP explores are k-way sums of these
+// partials, so no per-interval re-summation over individual connections is
+// ever needed.
+type runAggregates struct {
+	runs []*run
+	// partial[i][ri] is the sum of runs[ri].conns' envelopes at chain
+	// position i; only positions inside the run's interval are populated.
+	partial [][]minplus.Curve
+}
+
+func newRunAggregates(nPos int, runs []*run) *runAggregates {
+	ra := &runAggregates{runs: runs, partial: make([][]minplus.Curve, nPos)}
+	for i := range ra.partial {
+		ra.partial[i] = make([]minplus.Curve, len(runs))
+	}
+	return ra
+}
+
+// fill computes the partial sums of every run present at position i from
+// the position's envelope map.
+func (ra *runAggregates) fill(i int, env map[int]minplus.Curve) {
+	for ri, r := range ra.runs {
+		if r.lo <= i && i <= r.hi {
+			ra.partial[i][ri] = sumConns(env, r.conns)
+		}
+	}
+}
+
+// total returns the full aggregate at position i (sum over every run
+// present there, in run order).
+func (ra *runAggregates) total(i int) minplus.Curve {
+	curves := make([]minplus.Curve, 0, len(ra.runs))
+	for ri, r := range ra.runs {
+		if r.lo <= i && i <= r.hi {
+			curves = append(curves, ra.partial[i][ri])
+		}
+	}
+	return minplus.SumN(curves...)
+}
+
+// covering returns the sum at position at of the partials of runs whose
+// interval covers [lo, hi] — the through-aggregate of the interval.
+func (ra *runAggregates) covering(at, lo, hi int) minplus.Curve {
+	curves := make([]minplus.Curve, 0, len(ra.runs))
+	for ri, r := range ra.runs {
+		if r.lo <= lo && hi <= r.hi {
+			curves = append(curves, ra.partial[at][ri])
+		}
+	}
+	return minplus.SumN(curves...)
+}
+
+// crossAt returns the cross traffic of interval [lo, hi] at position at:
+// the partials of runs present at the position whose interval does not
+// cover [lo, hi].
+func (ra *runAggregates) crossAt(at, lo, hi int) minplus.Curve {
+	curves := make([]minplus.Curve, 0, len(ra.runs))
+	for ri, r := range ra.runs {
+		if r.lo <= at && at <= r.hi && !(r.lo <= lo && hi <= r.hi) {
+			curves = append(curves, ra.partial[at][ri])
+		}
+	}
+	return minplus.SumN(curves...)
+}
+
+// parallelValues evaluates f(0..n-1) across the available cores into a
+// slice. Each slot is written by exactly one worker and f is pure, so the
+// result is identical to a sequential evaluation regardless of
+// scheduling.
+func parallelValues(n int, f func(int) float64) []float64 {
+	vals := make([]float64, n)
+	workers := maxParallelWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			vals[i] = f(i)
+		}
+		return vals
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				vals[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return vals
+}

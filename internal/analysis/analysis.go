@@ -232,6 +232,10 @@ func denormalizeBacklogs(r *Result, scale float64) *Result {
 	return r
 }
 
+// maxParallelWorkers bounds the fan-out of the intra-analysis parallel
+// helpers (parallelMin, parallelValues).
+func maxParallelWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // parallelMin evaluates f(0..n-1) across the available cores and returns
 // the minimum. Used for the embarrassingly parallel theta enumerations;
 // the result is deterministic because min is order-independent.
@@ -239,7 +243,7 @@ func parallelMin(n int, f func(int) float64) float64 {
 	if n == 0 {
 		return math.Inf(1)
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := maxParallelWorkers()
 	if workers > n {
 		workers = n
 	}

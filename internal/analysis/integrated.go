@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"delaycalc/internal/minplus"
 	"delaycalc/internal/server"
@@ -40,6 +41,14 @@ import (
 // it — so this implementation uses the residual-curve formulation, every
 // member of which is a proven service curve. Every run bound is clamped by
 // the decomposed sum of its local FIFO delays, which is always valid.
+//
+// Independent subnetworks run concurrently: the topological order is cut
+// into dependency levels, and all chains of a level are analyzed in
+// parallel. Chains of one level share no connections (a connection
+// crossing two chains induces a path between them in the subnetwork DAG,
+// which would separate their levels), so their writes into the propagation
+// state touch disjoint indices and the merged result is bit-identical to
+// a sequential run regardless of scheduling.
 type Integrated struct {
 	// ChainLength is the maximum number of consecutive servers grouped
 	// into one subnetwork. 0 and 2 reproduce the paper (pairs); larger
@@ -61,6 +70,12 @@ type Integrated struct {
 	// An ablation knob for the propagation rule; costs one residual
 	// convolution and deconvolution per multi-hop connection per chain.
 	DeconvPropagation bool
+	// Sequential disables the level-parallel chain execution and analyzes
+	// subnetworks strictly in topological order on one goroutine. The
+	// bounds are bit-identical either way (the determinism test suite
+	// asserts it); the knob exists for that suite and for benchmarking
+	// the parallel speedup itself.
+	Sequential bool
 }
 
 // Name implements Analyzer.
@@ -107,12 +122,93 @@ func (a Integrated) Analyze(net *topo.Network) (*Result, error) {
 		return nil, err
 	}
 	p := newPropagation(net)
-	for _, sn := range ordered {
-		if ok := analyzeChain(net, sn.servers, p, a.DeconvPropagation); !ok {
-			return allInf("Integrated", net), nil
+	if a.Sequential {
+		for _, sn := range ordered {
+			if ok := analyzeChain(net, sn.servers, p, a.DeconvPropagation); !ok {
+				return allInf("Integrated", net), nil
+			}
+		}
+	} else {
+		for _, level := range levelizeSubnetworks(net, ordered) {
+			ok := analyzeLevel(level, func(sn subnetwork) bool {
+				return analyzeChain(net, sn.servers, p, a.DeconvPropagation)
+			})
+			if !ok {
+				return allInf("Integrated", net), nil
+			}
 		}
 	}
 	return denormalizeBacklogs(p.result("Integrated"), scale), nil
+}
+
+// levelizeSubnetworks cuts a topologically ordered partition into
+// dependency levels: a chain's level is one past the deepest level among
+// the chains feeding it, so every chain of a level only depends on
+// earlier levels. Order within a level follows the input order, keeping
+// the grouping deterministic.
+func levelizeSubnetworks(net *topo.Network, ordered []subnetwork) [][]subnetwork {
+	owner := make(map[int]int, len(net.Servers))
+	for i, sn := range ordered {
+		for _, s := range sn.servers {
+			owner[s] = i
+		}
+	}
+	out := make([][]int, len(ordered)) // unit -> sorted distinct successor units
+	for _, c := range net.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			u, v := owner[c.Path[i]], owner[c.Path[i+1]]
+			if u != v {
+				out[u] = append(out[u], v)
+			}
+		}
+	}
+	// ordered is topological, so every edge points from a smaller to a
+	// larger index: relaxing outgoing edges in index order computes the
+	// exact longest-path level in one pass.
+	level := make([]int, len(ordered))
+	for u := range ordered {
+		for _, v := range out[u] {
+			if level[v] < level[u]+1 {
+				level[v] = level[u] + 1
+			}
+		}
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	levels := make([][]subnetwork, maxLevel+1)
+	for i, sn := range ordered {
+		levels[level[i]] = append(levels[level[i]], sn)
+	}
+	return levels
+}
+
+// analyzeLevel runs f on every chain of one dependency level concurrently
+// and reports whether all succeeded. The chains write disjoint slices of
+// the propagation state, so no synchronization beyond the join is needed.
+func analyzeLevel(level []subnetwork, f func(subnetwork) bool) bool {
+	if len(level) == 1 {
+		return f(level[0])
+	}
+	oks := make([]bool, len(level))
+	var wg sync.WaitGroup
+	wg.Add(len(level))
+	for i := range level {
+		go func(i int) {
+			defer wg.Done()
+			oks[i] = f(level[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, ok := range oks {
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // partition greedily grows chains of consecutive servers (in topological
@@ -120,12 +216,20 @@ func (a Integrated) Analyze(net *topo.Network) (*Result, error) {
 // through rate, subject to the extension not creating a cycle among
 // subnetworks and not containing a reversed traversal. Servers that cannot
 // be grouped become singletons, exactly as the paper's Step 1 allows.
+//
+// The validity check is incremental: the committed partition is known
+// acyclic (inductively), so extending a chain by one server creates a
+// cycle iff the merged unit can reach itself through at least one outside
+// unit — a local reachability probe over the contracted unit graph
+// (partitioner.createsCycle) instead of the full clone-and-toposort the
+// previous implementation ran per candidate.
 func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
 	order, err := net.TopologicalOrder()
 	if err != nil {
 		return nil, err
 	}
 	maxLen := a.chainLength()
+	pt := newPartitioner(net)
 	used := make(map[int]bool, len(net.Servers))
 	var subnets []subnetwork
 	for _, u := range order {
@@ -134,6 +238,7 @@ func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
 		}
 		chain := []int{u}
 		used[u] = true
+		unit := pt.newUnit(u)
 		for len(chain) < maxLen {
 			tail := chain[len(chain)-1]
 			next := a.bestSuccessor(net, tail, used)
@@ -141,11 +246,12 @@ func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
 				break
 			}
 			trial := append(append([]int(nil), chain...), next)
-			if !extensionValid(net, subnets, order, trial) {
+			if !pt.extensionValid(trial, unit, next) {
 				break
 			}
 			chain = trial
 			used[next] = true
+			pt.assign(unit, next)
 		}
 		subnets = append(subnets, subnetwork{servers: chain})
 	}
@@ -177,15 +283,84 @@ func (a Integrated) bestSuccessor(net *topo.Network, tail int, used map[int]bool
 	return best
 }
 
-// extensionValid checks that adding the trial chain to the committed
-// partition keeps it acyclic and free of reversed intra-chain traversals.
-// Servers not yet assigned are treated as singletons for the test.
-func extensionValid(net *topo.Network, committed []subnetwork, order []int, trial []int) bool {
+// partitioner maintains the state of a growing partition — server
+// ownership and the server-level successor relation — so that each
+// extension's validity check is a local graph probe. The committed
+// partition (completed chains, the currently growing chain, and implicit
+// singletons for unassigned servers) is acyclic as an invariant: it
+// starts as the server DAG itself, and every accepted extension is
+// checked to preserve acyclicity.
+type partitioner struct {
+	net   *topo.Network
+	succ  [][]int // server -> sorted distinct successor servers
+	owner []int   // server -> unit id, -1 while an implicit singleton
+	units [][]int // unit id -> member servers
+
+	// Epoch-stamped DFS marks, reused across probes without clearing.
+	unitMark   []int
+	serverMark []int
+	epoch      int
+}
+
+func newPartitioner(net *topo.Network) *partitioner {
+	n := len(net.Servers)
+	succSet := make([]map[int]bool, n)
+	for _, c := range net.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			u, v := c.Path[i], c.Path[i+1]
+			if succSet[u] == nil {
+				succSet[u] = make(map[int]bool)
+			}
+			succSet[u][v] = true
+		}
+	}
+	succ := make([][]int, n)
+	for u, set := range succSet {
+		for v := range set {
+			succ[u] = append(succ[u], v)
+		}
+		sort.Ints(succ[u])
+	}
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	return &partitioner{
+		net:        net,
+		succ:       succ,
+		owner:      owner,
+		serverMark: make([]int, n),
+	}
+}
+
+// newUnit opens a unit for a fresh chain rooted at server s.
+func (pt *partitioner) newUnit(s int) int {
+	id := len(pt.units)
+	pt.units = append(pt.units, []int{s})
+	pt.unitMark = append(pt.unitMark, 0)
+	pt.owner[s] = id
+	return id
+}
+
+// assign commits server s to unit id after a successful extension.
+func (pt *partitioner) assign(id, s int) {
+	pt.owner[s] = id
+	pt.units[id] = append(pt.units[id], s)
+}
+
+// extensionValid checks that extending `unit` (whose members plus `next`
+// form `trial`) keeps the partition free of reversed intra-chain
+// traversals and acyclic. The predicate is equivalent to rebuilding the
+// whole partition with the trial chain and toposorting it, as the
+// previous implementation did: reversal is checked identically, and with
+// the pre-extension partition acyclic, the rebuilt partition has a cycle
+// iff the merged unit lies on one, iff the merged unit reaches itself.
+func (pt *partitioner) extensionValid(trial []int, unit, next int) bool {
 	pos := make(map[int]int, len(trial))
 	for i, s := range trial {
 		pos[s] = i
 	}
-	for _, c := range net.Connections {
+	for _, c := range pt.net.Connections {
 		for i := 0; i+1 < len(c.Path); i++ {
 			pu, okU := pos[c.Path[i]]
 			pv, okV := pos[c.Path[i+1]]
@@ -194,21 +369,63 @@ func extensionValid(net *topo.Network, committed []subnetwork, order []int, tria
 			}
 		}
 	}
-	probe := append([]subnetwork(nil), committed...)
-	probe = append(probe, subnetwork{servers: trial})
-	seen := make(map[int]bool)
-	for _, sn := range probe {
-		for _, s := range sn.servers {
-			seen[s] = true
+	return !pt.createsCycle(unit, next)
+}
+
+// createsCycle reports whether merging server `next` (currently an
+// implicit singleton) into `unit` closes a cycle in the contracted unit
+// graph: it walks the units reachable from the merged set's external
+// successors and checks whether any walk re-enters the merged set.
+func (pt *partitioner) createsCycle(unit, next int) bool {
+	pt.epoch++
+	inMerged := func(s int) bool { return pt.owner[s] == unit || s == next }
+	// Stack of contracted nodes: unit ids as-is, singleton servers
+	// bit-complemented.
+	var stack []int
+	push := func(t int) {
+		if u := pt.owner[t]; u >= 0 {
+			if pt.unitMark[u] != pt.epoch {
+				pt.unitMark[u] = pt.epoch
+				stack = append(stack, u)
+			}
+		} else if pt.serverMark[t] != pt.epoch {
+			pt.serverMark[t] = pt.epoch
+			stack = append(stack, ^t)
 		}
 	}
-	for _, s := range order {
-		if !seen[s] {
-			probe = append(probe, subnetwork{servers: []int{s}})
+	// Seed with the merged set's external successors; edges inside the
+	// merged set (including tail -> next, the edge being contracted) are
+	// not cycles.
+	seed := func(s int) {
+		for _, t := range pt.succ[s] {
+			if !inMerged(t) {
+				push(t)
+			}
 		}
 	}
-	_, err := orderSubnetworks(net, probe)
-	return err == nil
+	for _, s := range pt.units[unit] {
+		seed(s)
+	}
+	seed(next)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var servers []int
+		if n >= 0 {
+			servers = pt.units[n]
+		} else {
+			servers = []int{^n}
+		}
+		for _, s := range servers {
+			for _, t := range pt.succ[s] {
+				if inMerged(t) {
+					return true
+				}
+				push(t)
+			}
+		}
+	}
+	return false
 }
 
 // orderSubnetworks topologically sorts the partition by the precedence
@@ -287,6 +504,11 @@ type run struct {
 // envelopes at interior servers are the run-entry envelopes deformed by
 // the local FIFO delays accumulated so far — a valid (decomposed-style)
 // intra-chain characterization.
+//
+// Aggregation is cached per iteration: every run's partial envelope sum is
+// computed once per position (runAggregates), and the total, entry and
+// cross aggregates every DP interval needs are k-way sums of those
+// partials rather than per-interval folds over individual connections.
 func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) bool {
 	pos := make(map[int]int, len(chain))
 	for i, s := range chain {
@@ -376,9 +598,11 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 				}
 			}
 		}
+		ra := newRunAggregates(len(chain), runs)
 		for i := range chain {
 			srv := net.Servers[chain[i]]
-			agg := sumSorted(envAt[i])
+			ra.fill(i, envAt[i])
+			agg := ra.total(i)
 			local[i] = fifoLocalDelay(agg, srv.Capacity, srv.Latency)
 			if math.IsInf(local[i], 1) {
 				return false
@@ -397,7 +621,7 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 				}
 			}
 		}
-		bounds = newIntervalBounds(net, chain, runs, envAt, local)
+		bounds = newIntervalBounds(net, chain, runs, ra, envAt, local)
 		// Record the DP prefix bounds as the next iteration's shifts.
 		for _, r := range runs {
 			for _, c := range r.conns {
@@ -409,19 +633,23 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 			}
 		}
 	}
-	for _, r := range runs {
+	for ri, r := range runs {
 		servers := make([]int, 0, r.hi-r.lo+1)
 		for i := r.lo; i <= r.hi; i++ {
 			servers = append(servers, chain[i])
 		}
 		d := bounds.best(r.lo, r.hi)
-		for _, c := range r.conns {
+		var excl *runExclSums
+		if deconv && r.hi > r.lo {
+			excl = newRunExclSums(bounds, ri)
+		}
+		for mi, c := range r.conns {
 			entry := p.env[c]
 			if !p.advance(c, servers, d, len(servers)) {
 				return false
 			}
-			if deconv && r.hi > r.lo {
-				refined := deconvOutput(net, chain, r, c, entry, bounds)
+			if excl != nil {
+				refined := deconvOutput(net, chain, r, mi, entry, excl)
 				if refined != nil {
 					p.env[c] = minplus.Min(p.env[c], *refined)
 				}
@@ -431,26 +659,76 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 	return true
 }
 
-// deconvOutput computes the per-flow deconvolution envelope of connection
-// c leaving its run: c alone receives the theta = 0 residual against ALL
-// other traffic at each run server (a valid per-flow service curve), their
-// convolution is a valid end-to-end service curve for c over the run, and
-// the deconvolution of c's entry envelope out of it is a valid output
-// envelope. Returns nil when the residual leaves c no guaranteed rate.
-func deconvOutput(net *topo.Network, chain []int, r *run, c int, entry minplus.Curve, ib *intervalBounds) *minplus.Curve {
-	beta := minplus.Curve{}
+// runExclSums supports leave-one-out cross aggregates for a run: at every
+// position of the run's interval, the sum of all other runs' partials
+// plus prefix/suffix sums over the run's own members, so excluding one
+// member is a 3-way sum instead of a fold over all other connections.
+type runExclSums struct {
+	r *run
+	// others[i-lo] sums the partials of every other run present at i.
+	others []minplus.Curve
+	// pre[i-lo][j] sums members 0..j-1 at position i; suf[i-lo][j] sums
+	// members j+1.. at position i.
+	pre, suf [][]minplus.Curve
+}
+
+func newRunExclSums(ib *intervalBounds, ri int) *runExclSums {
+	r := ib.runs[ri]
+	n := r.hi - r.lo + 1
+	m := len(r.conns)
+	ex := &runExclSums{
+		r:      r,
+		others: make([]minplus.Curve, n),
+		pre:    make([][]minplus.Curve, n),
+		suf:    make([][]minplus.Curve, n),
+	}
 	for i := r.lo; i <= r.hi; i++ {
-		crossCurves := make(map[int]minplus.Curve)
-		for o, e := range ib.envAt[i] {
-			if o != c {
-				crossCurves[o] = e
+		rel := i - r.lo
+		curves := make([]minplus.Curve, 0, len(ib.runs))
+		for rj, o := range ib.runs {
+			if rj != ri && o.lo <= i && i <= o.hi {
+				curves = append(curves, ib.ra.partial[i][rj])
 			}
 		}
-		res := FIFOResidual(net.Servers[chain[i]].Capacity, sumSorted(crossCurves), 0)
+		ex.others[rel] = minplus.SumN(curves...)
+		pre := make([]minplus.Curve, m+1)
+		suf := make([]minplus.Curve, m+1)
+		pre[0] = minplus.Zero()
+		for j := 0; j < m; j++ {
+			pre[j+1] = minplus.Add(pre[j], ib.envAt[i][r.conns[j]])
+		}
+		suf[m] = minplus.Zero()
+		for j := m - 1; j >= 0; j-- {
+			suf[j] = minplus.Add(suf[j+1], ib.envAt[i][r.conns[j]])
+		}
+		ex.pre[rel] = pre
+		ex.suf[rel] = suf
+	}
+	return ex
+}
+
+// crossWithout returns the aggregate of every connection at run position i
+// except member mi.
+func (ex *runExclSums) crossWithout(i, mi int) minplus.Curve {
+	rel := i - ex.r.lo
+	return minplus.SumN(ex.others[rel], ex.pre[rel][mi], ex.suf[rel][mi+1])
+}
+
+// deconvOutput computes the per-flow deconvolution envelope of run member
+// mi leaving its run: the member alone receives the theta = 0 residual
+// against ALL other traffic at each run server (a valid per-flow service
+// curve), their convolution is a valid end-to-end service curve for it
+// over the run, and the deconvolution of its entry envelope out of it is
+// a valid output envelope. Returns nil when the residual leaves the
+// member no guaranteed rate.
+func deconvOutput(net *topo.Network, chain []int, r *run, mi int, entry minplus.Curve, ex *runExclSums) *minplus.Curve {
+	beta := minplus.Curve{}
+	for i := r.lo; i <= r.hi; i++ {
+		res := FIFOResidual(net.Servers[chain[i]].Capacity, ex.crossWithout(i, mi), 0)
 		if i == r.lo {
 			beta = res
 		} else {
-			beta = minplus.Convolve(beta, res)
+			beta = minplus.ConvolveGated(beta, res)
 		}
 	}
 	if beta.FinalSlope() <= entry.FinalSlope() {
@@ -469,15 +747,16 @@ type intervalBounds struct {
 	net    *topo.Network
 	chain  []int
 	runs   []*run
+	ra     *runAggregates
 	envAt  []map[int]minplus.Curve
 	local  []float64
 	direct map[[2]int]float64
 	opt    map[[2]int]float64
 }
 
-func newIntervalBounds(net *topo.Network, chain []int, runs []*run, envAt []map[int]minplus.Curve, local []float64) *intervalBounds {
+func newIntervalBounds(net *topo.Network, chain []int, runs []*run, ra *runAggregates, envAt []map[int]minplus.Curve, local []float64) *intervalBounds {
 	return &intervalBounds{
-		net: net, chain: chain, runs: runs, envAt: envAt, local: local,
+		net: net, chain: chain, runs: runs, ra: ra, envAt: envAt, local: local,
 		direct: map[[2]int]float64{},
 		opt:    map[[2]int]float64{},
 	}
@@ -511,47 +790,21 @@ func (ib *intervalBounds) directBound(lo, hi int) float64 {
 	if d, ok := ib.direct[key]; ok {
 		return d
 	}
-	covering := map[int]bool{}
-	for _, r := range ib.runs {
-		if r.lo <= lo && hi <= r.hi {
-			for _, c := range r.conns {
-				covering[c] = true
-			}
-		}
-	}
-	d := runIntervalBound(ib.net, ib.chain, lo, hi, covering, ib.envAt, ib.local)
+	d := runIntervalBound(ib.net, ib.chain, lo, hi, ib.ra, ib.local)
 	ib.direct[key] = d
 	return d
-}
-
-// sumSorted adds the map's curves in deterministic (key-sorted) order so
-// results do not depend on map iteration.
-func sumSorted(m map[int]minplus.Curve) minplus.Curve {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	acc := minplus.Zero()
-	for _, k := range keys {
-		acc = minplus.Add(acc, m[k])
-	}
-	return acc
 }
 
 // runIntervalBound computes the joint bound of a multi-server interval for
 // a given aggregate: the horizontal deviation between the aggregate's
 // entry envelope and the min-plus convolution of the per-server FIFO
 // residual curves against the local cross traffic, minimized over the
-// theta parameters (full enumeration for two servers, coordinate descent
-// for longer intervals — every evaluation is a valid bound, so any search
-// strategy is sound), clamped by the decomposed sum of local delays.
-func runIntervalBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, envAt []map[int]minplus.Curve, local []float64) float64 {
-	entry := make(map[int]minplus.Curve, len(inAgg))
-	for c := range inAgg {
-		entry[c] = envAt[lo][c]
-	}
-	agg := sumSorted(entry)
+// theta parameters by the shared memoized search (full enumeration for
+// two servers, coordinate descent for longer intervals — every
+// evaluation is a valid bound, so any search strategy is sound), clamped
+// by the decomposed sum of local delays.
+func runIntervalBound(net *topo.Network, chain []int, lo, hi int, ra *runAggregates, local []float64) float64 {
+	agg := ra.covering(lo, lo, hi)
 
 	k := hi - lo + 1
 	cross := make([]minplus.Curve, k)
@@ -565,67 +818,18 @@ func runIntervalBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]
 		caps[i] = srv.Capacity
 		lat += srv.Latency
 		decomposedSum += local[posIdx]
-		crossCurves := make(map[int]minplus.Curve)
-		for c, e := range envAt[posIdx] {
-			if !inAgg[c] {
-				crossCurves[c] = e
-			}
-		}
-		cross[i] = sumSorted(crossCurves)
+		cross[i] = ra.crossAt(posIdx, lo, hi)
 		cands[i] = thetaCandidates(caps[i], cross[i], local[posIdx])
 	}
 
-	evalAt := func(thetas []float64) float64 {
-		beta := FIFOResidual(caps[0], cross[0], thetas[0])
-		for i := 1; i < k; i++ {
-			beta = minplus.Convolve(beta, FIFOResidual(caps[i], cross[i], thetas[i]))
-		}
-		return minplus.HorizontalDeviation(agg, beta)
+	ts := &thetaSearch{
+		agg:   agg,
+		cands: cands,
+		residual: func(i int, theta float64) minplus.Curve {
+			return FIFOResidual(caps[i], cross[i], theta)
+		},
 	}
-
-	best := math.Inf(1)
-	if k == 2 {
-		// Full enumeration, as in the paper's two-multiplexor analysis.
-		// The evaluations are independent, so fan them out across the
-		// available cores; the minimum is order-independent.
-		type pair struct{ t0, t1 float64 }
-		var jobs []pair
-		for _, t0 := range cands[0] {
-			for _, t1 := range cands[1] {
-				jobs = append(jobs, pair{t0, t1})
-			}
-		}
-		best = parallelMin(len(jobs), func(i int) float64 {
-			return evalAt([]float64{jobs[i].t0, jobs[i].t1})
-		})
-	} else {
-		// Coordinate descent from the all-zero vector; every iterate is a
-		// sound bound, so early termination cannot break soundness.
-		thetas := make([]float64, k)
-		best = evalAt(thetas)
-		for pass := 0; pass < 3; pass++ {
-			improved := false
-			for i := 0; i < k; i++ {
-				bestHere := thetas[i]
-				for _, cand := range cands[i] {
-					if cand == bestHere {
-						continue
-					}
-					thetas[i] = cand
-					if d := evalAt(thetas); d < best {
-						best = d
-						bestHere = cand
-						improved = true
-					}
-				}
-				thetas[i] = bestHere
-			}
-			if !improved {
-				break
-			}
-		}
-	}
-	best += lat
+	best := ts.minimize() + lat
 	if decomposedSum < best {
 		best = decomposedSum
 	}

@@ -274,7 +274,9 @@ func spRateLatencyGuarantee(capacity float64, higher minplus.Curve, lat float64)
 // spRunBound is runIntervalBound with the constant-rate service replaced
 // by the class's rate-latency guarantees: the residual family
 // [beta(t) - cross(t-theta)]^+ . 1{t>theta} on a rate-latency beta is the
-// standard FIFO-node form, sound for every theta.
+// standard FIFO-node form, sound for every theta. The theta minimization
+// is the shared memoized search (thetaSearch) with the rate-latency
+// residual family injected.
 func spRunBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, envAt []map[int]minplus.Curve, guar []minplus.Curve, local []float64) float64 {
 	entry := make(map[int]minplus.Curve, len(inAgg))
 	for c := range inAgg {
@@ -299,48 +301,14 @@ func spRunBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, 
 		cands[i] = thetaCandidates(net.Servers[chain[posIdx]].Capacity, cross[i], local[posIdx])
 	}
 
-	evalAt := func(thetas []float64) float64 {
-		beta := spResidual(guar[lo], cross[0], thetas[0])
-		for i := 1; i < k; i++ {
-			beta = minplus.Convolve(beta, spResidual(guar[lo+i], cross[i], thetas[i]))
-		}
-		return minplus.HorizontalDeviation(agg, beta)
+	ts := &thetaSearch{
+		agg:   agg,
+		cands: cands,
+		residual: func(i int, theta float64) minplus.Curve {
+			return spResidual(guar[lo+i], cross[i], theta)
+		},
 	}
-
-	best := math.Inf(1)
-	if k == 2 {
-		for _, t0 := range cands[0] {
-			for _, t1 := range cands[1] {
-				if d := evalAt([]float64{t0, t1}); d < best {
-					best = d
-				}
-			}
-		}
-	} else {
-		thetas := make([]float64, k)
-		best = evalAt(thetas)
-		for pass := 0; pass < 3; pass++ {
-			improved := false
-			for i := 0; i < k; i++ {
-				bestHere := thetas[i]
-				for _, cand := range cands[i] {
-					if cand == bestHere {
-						continue
-					}
-					thetas[i] = cand
-					if d := evalAt(thetas); d < best {
-						best = d
-						bestHere = cand
-						improved = true
-					}
-				}
-				thetas[i] = bestHere
-			}
-			if !improved {
-				break
-			}
-		}
-	}
+	best := ts.minimize()
 	if decomposedSum < best {
 		best = decomposedSum
 	}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"math"
+
+	"delaycalc/internal/minplus"
+)
+
+// thetaSearch minimizes, over theta vectors, the horizontal deviation
+// between an aggregate envelope and the convolution of k per-position
+// residual service curves. It is shared by the FIFO chain analysis
+// (constant-rate service) and the static-priority chain analysis
+// (rate-latency service) — the residual family is injected — and it
+// replaces the naive enumeration that rebuilt every residual and redid the
+// full convolution for every candidate vector:
+//
+//   - residual curves are memoized per (position, candidate) — a k=2
+//     enumeration over c0 x c1 pairs builds c0 + c1 residuals, not
+//     2*c0*c1;
+//   - the k=2 enumeration uses the gated-convex closed form of the
+//     convolution when every residual decomposes (always the case against
+//     concave cross traffic): with residual_i = Delay_{g_i}(chi_i),
+//
+//	h(A, res_0 ⊗ res_1) = g_0 + g_1 +
+//	    max( h(A, chi_0), h(A, chi_1), h(A, J_0+J_1 + psi_0 ⊗ psi_1) ),
+//
+//     where psi_0 ⊗ psi_1 is an O(n) ascending-slope merge
+//     (minplus.ConvolveConvexParts) — the per-candidate deviations
+//     h(A, chi_i) are cached, so each pair costs one slope merge and one
+//     deviation instead of a generic convolution. The identity is exact:
+//     delays factor out of the pseudo-inverse whenever the aggregate is
+//     positive on (0, eps) — checked, with fallback to the generic
+//     convolution — and the lower pseudo-inverse of a min of
+//     non-decreasing curves is the max of their pseudo-inverses;
+//   - coordinate descent for k > 2 convolves the fixed prefix and suffix
+//     of the scanned coordinate once per scan, so each candidate pays two
+//     convolutions instead of k-1, and memoizes evaluated theta vectors
+//     across passes;
+//   - candidate evaluations fan out across cores (parallelValues /
+//     parallelMin); the reduction is sequential over the precomputed
+//     values, replicating the serial argmin exactly.
+type thetaSearch struct {
+	agg      minplus.Curve
+	cands    [][]float64
+	residual func(pos int, theta float64) minplus.Curve
+
+	res [][]*minplus.Curve // memoized residuals per (position, candidate)
+}
+
+// residualAt returns the memoized residual of candidate ci at position i.
+func (ts *thetaSearch) residualAt(i, ci int) minplus.Curve {
+	if ts.res[i][ci] == nil {
+		c := ts.residual(i, ts.cands[i][ci])
+		ts.res[i][ci] = &c
+	}
+	return *ts.res[i][ci]
+}
+
+// minimize returns the minimal horizontal deviation over the candidate
+// grid (full enumeration for k = 2, coordinate descent otherwise).
+func (ts *thetaSearch) minimize() float64 {
+	k := len(ts.cands)
+	ts.res = make([][]*minplus.Curve, k)
+	for i := range ts.res {
+		ts.res[i] = make([]*minplus.Curve, len(ts.cands[i]))
+	}
+	if k == 2 {
+		return ts.enumeratePairs()
+	}
+	return ts.coordinateDescent()
+}
+
+// aggRisesImmediately reports whether the aggregate is positive on
+// (0, eps), the condition under which h(A, Delay_g(E)) = g + h(A, E)
+// holds exactly (the deviation at any t > 0 is then at least g, so the
+// split never undercounts).
+func (ts *thetaSearch) aggRisesImmediately() bool {
+	return ts.agg.EvalRight(0) > minplus.Eps || ts.agg.RightSlope(0) > minplus.Eps
+}
+
+// enumeratePairs is the k = 2 full enumeration.
+func (ts *thetaSearch) enumeratePairs() float64 {
+	n0, n1 := len(ts.cands[0]), len(ts.cands[1])
+	for i := 0; i < 2; i++ {
+		for ci := range ts.cands[i] {
+			ts.residualAt(i, ci)
+		}
+	}
+	// Gated-convex fast path: decompose every residual once; pairs then
+	// cost a slope merge plus one deviation.
+	type part struct {
+		dec minplus.GatedConvex
+		hd  float64 // h(agg, chi) with the gate stripped
+	}
+	fast := true
+	parts := [2][]part{make([]part, n0), make([]part, n1)}
+	for i := 0; i < 2 && fast; i++ {
+		for ci := range ts.cands[i] {
+			dec, ok := minplus.DecomposeGatedConvex(ts.residualAt(i, ci))
+			if !ok {
+				fast = false
+				break
+			}
+			parts[i][ci] = part{dec: dec}
+		}
+	}
+	if fast && ts.aggRisesImmediately() {
+		for i := 0; i < 2; i++ {
+			for ci := range ts.cands[i] {
+				chi := minplus.ShiftLeft(ts.residualAt(i, ci), parts[i][ci].dec.Gate)
+				parts[i][ci].hd = minplus.HorizontalDeviation(ts.agg, chi)
+			}
+		}
+		return parallelMin(n0*n1, func(idx int) float64 {
+			a, b := &parts[0][idx/n1], &parts[1][idx%n1]
+			w := minplus.ConvolveConvexParts(a.dec, b.dec)
+			hd := math.Max(math.Max(a.hd, b.hd), minplus.HorizontalDeviation(ts.agg, w))
+			return a.dec.Gate + b.dec.Gate + hd
+		})
+	}
+	return parallelMin(n0*n1, func(idx int) float64 {
+		beta := minplus.Convolve(ts.residualAt(0, idx/n1), ts.residualAt(1, idx%n1))
+		return minplus.HorizontalDeviation(ts.agg, beta)
+	})
+}
+
+// coordinateDescent scans one coordinate at a time from the all-zero
+// vector (candidate index 0 is always theta = 0), keeping the first
+// strictly improving candidate per scan, up to three passes — the same
+// search the pre-overhaul engine ran, with prefix/suffix convolutions
+// hoisted out of the candidate loop and evaluated vectors memoized.
+func (ts *thetaSearch) coordinateDescent() float64 {
+	k := len(ts.cands)
+	idx := make([]int, k)
+	seen := map[string]float64{}
+	evalVec := func(v []int) float64 {
+		key := vecKey(v)
+		if d, ok := seen[key]; ok {
+			return d
+		}
+		beta := ts.residualAt(0, v[0])
+		for i := 1; i < k; i++ {
+			beta = minplus.Convolve(beta, ts.residualAt(i, v[i]))
+		}
+		d := minplus.HorizontalDeviation(ts.agg, beta)
+		seen[key] = d
+		return d
+	}
+	best := evalVec(idx)
+	for pass := 0; pass < 3; pass++ {
+		improved := false
+		for i := 0; i < k; i++ {
+			// Convolve the fixed prefix and suffix once; min-plus
+			// convolution is associative, so prefix ⊗ res_i ⊗ suffix is
+			// the same curve as the left fold.
+			var pre, suf *minplus.Curve
+			if i > 0 {
+				b := ts.residualAt(0, idx[0])
+				for j := 1; j < i; j++ {
+					b = minplus.Convolve(b, ts.residualAt(j, idx[j]))
+				}
+				pre = &b
+			}
+			if i+1 < k {
+				b := ts.residualAt(i+1, idx[i+1])
+				for j := i + 2; j < k; j++ {
+					b = minplus.Convolve(b, ts.residualAt(j, idx[j]))
+				}
+				suf = &b
+			}
+			evalCand := func(ci int) float64 {
+				v := append([]int(nil), idx...)
+				v[i] = ci
+				key := vecKey(v)
+				if d, ok := seen[key]; ok {
+					return d
+				}
+				beta := ts.residualAt(i, ci)
+				if pre != nil {
+					beta = minplus.Convolve(*pre, beta)
+				}
+				if suf != nil {
+					beta = minplus.Convolve(beta, *suf)
+				}
+				d := minplus.HorizontalDeviation(ts.agg, beta)
+				seen[key] = d
+				return d
+			}
+			vals := parallelValues(len(ts.cands[i]), evalCand)
+			bestHere := idx[i]
+			for ci := range ts.cands[i] {
+				if ci == bestHere {
+					continue
+				}
+				if d := vals[ci]; d < best {
+					best = d
+					bestHere = ci
+					improved = true
+				}
+			}
+			idx[i] = bestHere
+		}
+		if !improved {
+			break
+		}
+	}
+	return best
+}
+
+// vecKey encodes a candidate-index vector as a map key.
+func vecKey(v []int) string {
+	b := make([]byte, 0, 2*len(v))
+	for _, x := range v {
+		b = append(b, byte(x), byte(x>>8))
+	}
+	return string(b)
+}

@@ -1,0 +1,167 @@
+package minplus
+
+import "math"
+
+// SlopeSeg is one finite segment of a convex section: horizontal length
+// and slope.
+type SlopeSeg struct {
+	Len, Slope float64
+}
+
+// GatedConvex is the canonical form of a "gated-convex" curve
+//
+//	f(t) = 0                       for 0 <= t <= Gate,
+//	f(t) = Jump + psi(t - Gate)    for t > Gate,
+//
+// where psi is continuous, convex and non-decreasing with psi(0) = 0,
+// described by the finite segments Segs (non-decreasing slopes) followed
+// by the infinite Tail slope. FIFO residual service curves against concave
+// cross traffic always have this shape, and min-plus convolutions of such
+// curves admit the closed form below, which the analysis layer exploits to
+// avoid the generic convolution in its theta enumeration.
+type GatedConvex struct {
+	Gate, Jump float64
+	Segs       []SlopeSeg
+	Tail       float64
+}
+
+// DecomposeGatedConvex writes f in gated-convex canonical form. The second
+// return is false when f does not have the shape (nonzero start, interior
+// or downward jumps, non-convex section after the gate, decreasing tail).
+func DecomposeGatedConvex(f Curve) (GatedConvex, bool) {
+	f.mustValid()
+	pts := f.pts
+	if !almostEqual(pts[0].Y, 0) {
+		return GatedConvex{}, false
+	}
+	// The gate is the last abscissa at which f is still zero.
+	i := 0
+	for i+1 < len(pts) && almostEqual(pts[i+1].Y, 0) {
+		i++
+	}
+	g := GatedConvex{Gate: pts[i].X}
+	j := i + 1
+	if j < len(pts) && almostEqual(pts[j].X, pts[i].X) {
+		g.Jump = pts[j].Y
+		if g.Jump < -Eps {
+			return GatedConvex{}, false
+		}
+		j++
+	}
+	prevX, prevY := g.Gate, g.Jump
+	prevSlope := math.Inf(-1)
+	for ; j < len(pts); j++ {
+		p := pts[j]
+		if p.X <= prevX || almostEqual(p.X, prevX) {
+			return GatedConvex{}, false // jump after the gate
+		}
+		s := (p.Y - prevY) / (p.X - prevX)
+		if s < -Eps || s < prevSlope-Eps {
+			return GatedConvex{}, false
+		}
+		g.Segs = append(g.Segs, SlopeSeg{Len: p.X - prevX, Slope: s})
+		prevX, prevY, prevSlope = p.X, p.Y, s
+	}
+	if f.slope < -Eps || f.slope < prevSlope-Eps {
+		return GatedConvex{}, false
+	}
+	g.Tail = f.slope
+	return g, true
+}
+
+// Curve reconstructs the curve described by the canonical form.
+func (g GatedConvex) Curve() Curve {
+	pts := make([]Point, 0, len(g.Segs)+3)
+	pts = append(pts, Point{0, 0})
+	if g.Gate > 0 {
+		pts = append(pts, Point{g.Gate, 0})
+	}
+	x, y := g.Gate, g.Jump
+	if g.Jump > 0 {
+		pts = append(pts, Point{x, y})
+	}
+	for _, s := range g.Segs {
+		x += s.Len
+		y += s.Len * s.Slope
+		pts = append(pts, Point{x, y})
+	}
+	return New(pts, g.Tail)
+}
+
+// ConvolveConvexParts returns the "interior" branch of the convolution of
+// two gated-convex curves with their gates stripped: the curve
+//
+//	W(0) = 0,  W(u) = Jump_a + Jump_b + (psi_a ⊗ psi_b)(u)  for u > 0,
+//
+// where psi_a ⊗ psi_b is the infimal convolution of the two convex
+// sections — their segments replayed in ascending slope order, truncated
+// at the smaller tail slope. Together with the two single-jump branches it
+// yields the full convolution; see ConvolveGated.
+func ConvolveConvexParts(a, b GatedConvex) Curve {
+	tail := math.Min(a.Tail, b.Tail)
+	segs := mergeConvexSegs(a.Segs, b.Segs, tail)
+	jump := a.Jump + b.Jump
+	pts := make([]Point, 0, len(segs)+2)
+	pts = append(pts, Point{0, 0})
+	x, y := 0.0, jump
+	if !almostEqual(jump, 0) {
+		pts = append(pts, Point{0, jump})
+	}
+	for _, s := range segs {
+		x += s.Len
+		y += s.Len * s.Slope
+		pts = append(pts, Point{x, y})
+	}
+	out := Curve{pts: pts, slope: tail}
+	out.normalize()
+	return out
+}
+
+// mergeConvexSegs merges two ascending-slope segment lists in slope order,
+// dropping segments whose slope is not below cut: a slope reached by the
+// (infinitely long) cheaper tail never contributes to the infimal
+// convolution.
+func mergeConvexSegs(a, b []SlopeSeg, cut float64) []SlopeSeg {
+	out := make([]SlopeSeg, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var s SlopeSeg
+		if j >= len(b) || (i < len(a) && a[i].Slope <= b[j].Slope) {
+			s = a[i]
+			i++
+		} else {
+			s = b[j]
+			j++
+		}
+		if s.Slope >= cut {
+			break // ascending: everything after is >= cut too
+		}
+		if n := len(out); n > 0 && almostEqual(out[n-1].Slope, s.Slope) {
+			out[n-1].Len += s.Len
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ConvolveGated computes f ⊗ g through the gated-convex closed form
+//
+//	f ⊗ g = Delay_{Gf+Gg}( min( chi_f, chi_g, W ) ),
+//
+// where chi = ShiftLeft(curve, gate) strips the gate (keeping the jump and
+// convex section) and W = ConvolveConvexParts pays both jumps at once: the
+// three branches are the s=0, s=u and 0<s<u splits of the infimal
+// convolution. Exact for gated-convex operands; falls back to the generic
+// Convolve when either operand does not decompose.
+func ConvolveGated(f, g Curve) Curve {
+	df, okF := DecomposeGatedConvex(f)
+	dg, okG := DecomposeGatedConvex(g)
+	if !okF || !okG {
+		return Convolve(f, g)
+	}
+	chiF := ShiftLeft(f, df.Gate)
+	chiG := ShiftLeft(g, dg.Gate)
+	env := Min(Min(chiF, chiG), ConvolveConvexParts(df, dg))
+	return Delay(env, df.Gate+dg.Gate)
+}

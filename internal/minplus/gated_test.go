@@ -1,0 +1,106 @@
+package minplus
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// genGatedConvex draws a random curve in gated-convex form: zero up to a
+// gate, an optional jump, then a convex non-decreasing section.
+func genGatedConvex(r *rand.Rand) GatedConvex {
+	g := GatedConvex{}
+	if r.Intn(2) == 0 {
+		g.Gate = round3(r.Float64() * 4)
+	}
+	if r.Intn(2) == 0 {
+		g.Jump = round3(r.Float64() * 3)
+	}
+	n := r.Intn(4)
+	slopes := make([]float64, n)
+	for i := range slopes {
+		slopes[i] = round3(r.Float64() * 2)
+	}
+	sort.Float64s(slopes)
+	last := 0.0
+	for _, s := range slopes {
+		g.Segs = append(g.Segs, SlopeSeg{Len: round3(0.25 + r.Float64()*2), Slope: s})
+		last = s
+	}
+	g.Tail = last + round3(r.Float64()*2)
+	return g
+}
+
+func TestGatedConvexRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		g := genGatedConvex(rng)
+		f := g.Curve()
+		dec, ok := DecomposeGatedConvex(f)
+		if !ok {
+			t.Fatalf("trial %d: decomposition failed for %v (from %+v)", trial, f, g)
+		}
+		if !dec.Curve().Equal(f) {
+			t.Fatalf("trial %d: roundtrip mismatch\nf      %v\nrebuilt %v", trial, f, dec.Curve())
+		}
+	}
+}
+
+func TestDecomposeGatedConvexRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Curve
+	}{
+		{"nonzero start", New([]Point{{0, 1}, {2, 3}}, 1)},
+		{"interior jump", New([]Point{{0, 0}, {1, 1}, {1, 3}, {2, 4}}, 1)},
+		{"concave section", New([]Point{{0, 0}, {1, 2}, {3, 3}}, 0.25)},
+		{"decreasing tail", New([]Point{{0, 0}, {1, 1}}, 0.5)},
+	}
+	// The last case is convex (slope 1 then 0.5 decreasing): verify it is
+	// rejected for non-convexity, not accepted.
+	for _, tc := range cases {
+		if _, ok := DecomposeGatedConvex(tc.c); ok {
+			t.Errorf("%s: DecomposeGatedConvex accepted %v", tc.name, tc.c)
+		}
+	}
+}
+
+func TestConvolveGatedMatchesConvolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 150; trial++ {
+		f := genGatedConvex(rng).Curve()
+		g := genGatedConvex(rng).Curve()
+		got := ConvolveGated(f, g)
+		want := Convolve(f, g)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d:\nf    %v\ng    %v\ngated   %v\ngeneric %v", trial, f, g, got, want)
+		}
+	}
+}
+
+// TestConvolveGatedFallback checks that non-gated-convex operands fall
+// back to the generic convolution.
+func TestConvolveGatedFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 80; trial++ {
+		f, g := genCurve(rng), genCurve(rng)
+		got := ConvolveGated(f, g)
+		want := Convolve(f, g)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d:\nf    %v\ng    %v\ngated   %v\ngeneric %v", trial, f, g, got, want)
+		}
+	}
+}
+
+func BenchmarkConvolveGated(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	fs := make([]Curve, 16)
+	for i := range fs {
+		fs[i] = genGatedConvex(rng).Curve()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConvolveGated(fs[i%16], fs[(i+7)%16])
+	}
+}

@@ -146,6 +146,12 @@ func strictInverseAtBounded(f Curve, y float64) float64 {
 		if r := f.EvalRight(x); r > y && !almostEqual(r, y) {
 			return x
 		}
+		// The right limit at x is still y; if the curve rises continuously
+		// from it, f exceeds y immediately after x and x is the strict
+		// inverse. Only a genuine plateau (zero right slope) is skipped.
+		if f.RightSlope(x) > Eps {
+			return x
+		}
 		// The curve sits at (approximately) y just after x: advance to the
 		// next distinct breakpoint, or into the affine tail.
 		advanced := false

@@ -89,13 +89,10 @@ func Add(f, g Curve) Curve {
 	return pointwise(f, g, func(a, b float64) float64 { return a + b }, addTail)
 }
 
-// Sum adds any number of curves; Sum() is the zero curve.
+// Sum adds any number of curves; Sum() is the zero curve. It delegates to
+// SumN, the single-pass k-way merge.
 func Sum(curves ...Curve) Curve {
-	acc := Zero()
-	for _, c := range curves {
-		acc = Add(acc, c)
-	}
-	return acc
+	return SumN(curves...)
 }
 
 // Min returns the pointwise minimum of f and g.
@@ -146,16 +143,23 @@ func MonotoneClosure(f Curve) Curve {
 		run = math.Min(run, math.Min(v, vr))
 		m[i] = run
 	}
-	// Step curve S(t) = M[first i with xs[i] >= t]; on the tail S follows
-	// f itself so that Min(f, S) leaves the tail untouched.
-	eval := func(t float64) float64 {
-		for i, x := range xs {
-			if x >= t || almostEqual(x, t) {
-				return m[i]
+	// Step curve S(t) = M[first i with xs[i] >= t], built directly from the
+	// reverse scan: value m[i] at xs[i], constant m[i+1] on the open
+	// interval after it. On the tail S follows f itself (the tail infimum
+	// is its right limit at the last breakpoint, since slope >= 0) so that
+	// Min(f, S) leaves the tail untouched.
+	pts := make([]Point, 0, 2*len(xs))
+	for i, x := range xs {
+		pts = append(pts, Point{x, m[i]})
+		if i+1 < len(xs) {
+			if !almostEqual(m[i+1], m[i]) {
+				pts = append(pts, Point{x, m[i+1]})
 			}
+		} else if !almostEqual(tail, m[i]) {
+			pts = append(pts, Point{x, tail})
 		}
-		return f.Eval(t)
 	}
-	s := fromEvaluator(append([]float64(nil), xs...), eval, f.slope)
+	s := Curve{pts: pts, slope: f.slope}
+	s.normalize()
 	return Min(f, s)
 }
