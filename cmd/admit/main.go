@@ -6,6 +6,7 @@
 // Usage:
 //
 //	admit [-servers 4] [-deadline 14] [-sigma 1] [-rho 0.02] [-limit 200] [-full]
+//	      [-timeout 0]
 //
 // The greedy fill runs through the same incremental admission engine the
 // delayd daemon serves (docs/INCREMENTAL.md): each admission extends the
@@ -15,10 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"delaycalc/internal/admission"
 	"delaycalc/internal/analysis"
 	"delaycalc/internal/server"
 	"delaycalc/internal/service"
@@ -34,6 +38,7 @@ func main() {
 		rho      = flag.Float64("rho", 0.02, "token rate")
 		limit    = flag.Int("limit", 200, "admission attempts")
 		full     = flag.Bool("full", false, "disable incremental analysis (full re-analysis per test)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget per analyzer's greedy fill (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -64,9 +69,18 @@ func main() {
 		if *full {
 			state.ForceFull()
 		}
-		n, err := state.FillGreedy(template, *limit)
+		ctx, cancel := fillContext(*timeout)
+		n, err := state.FillGreedyContext(ctx, template, *limit)
+		cancel()
 		if err != nil {
-			fatal(err)
+			if admission.IsCanceled(err) {
+				// The budget ran out mid-fill; the admitted count so far is
+				// still a valid (conservative) capacity measurement.
+				fmt.Fprintf(os.Stderr, "admit: %s fill cut off after %v (admitted so far reported)\n",
+					a.Name(), *timeout)
+			} else {
+				fatal(err)
+			}
 		}
 		maxU := 0.0
 		for _, u := range state.Utilization() {
@@ -78,6 +92,14 @@ func main() {
 		fmt.Printf("%-14s %10d %15.1f%% %11d/%d\n", a.Name(), n, 100*maxU,
 			stats.IncrementalTests, stats.IncrementalTests+stats.FullTests)
 	}
+}
+
+// fillContext derives the per-analyzer fill budget; zero means unlimited.
+func fillContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
 }
 
 func fatal(err error) {

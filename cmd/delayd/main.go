@@ -7,8 +7,8 @@
 // Usage:
 //
 //	delayd [-addr :8080] [-algo integrated] (-spec net.json | -tandem 4 [-load 0.5])
-//	       [-cache 256] [-timeout 10s] [-max-body 1048576] [-shutdown-grace 10s]
-//	       [-incremental=true] [-pprof]
+//	       [-cache 256] [-timeout 10s] [-analyze-timeout 5s] [-max-inflight 64]
+//	       [-max-body 1048576] [-shutdown-grace 10s] [-incremental=true] [-pprof]
 //
 // Endpoints (see docs/SERVICE.md for the full reference; the unprefixed
 // pre-versioning spellings still work but answer with a Deprecation
@@ -28,8 +28,16 @@
 // bounds for the rest — see docs/INCREMENTAL.md. -incremental=false forces
 // a full re-analysis per test.
 //
+// Each request runs under two clocks: -timeout is the hard deadline (a
+// request that reaches it is shed with 503 + Retry-After and its analysis
+// is cancelled) and -analyze-timeout is the soft budget (an analysis that
+// exceeds it degrades to the always-sound decomposed bound, labeled
+// degraded:true). -max-inflight bounds concurrently running analyses;
+// excess requests queue until a slot frees or their deadline sheds them.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
-// in-flight requests for up to -shutdown-grace before exiting.
+// in-flight requests for up to -shutdown-grace; if the grace expires,
+// the remaining analyses are cancelled cooperatively before exit.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	stdnet "net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -57,7 +66,9 @@ func main() {
 		load     = flag.Float64("load", 0.5, "tandem builder load (only with -tandem)")
 		algo     = flag.String("algo", "integrated", "admission-test analyzer (integrated, decomposed, servicecurve, gr, integratedsp)")
 		cacheSz  = flag.Int("cache", service.DefaultCacheSize, "analyze-cache capacity (0 disables caching)")
-		timeout  = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request deadline")
+		timeout  = flag.Duration("timeout", service.DefaultRequestTimeout, "per-request hard deadline (shed with 503 when passed)")
+		analyzeT = flag.Duration("analyze-timeout", service.DefaultAnalyzeTimeout, "soft analysis budget before degrading to the decomposed bound (negative disables degradation)")
+		inflight = flag.Int("max-inflight", service.DefaultMaxInFlight, "maximum concurrently running analyses (negative disables the bound)")
 		maxBody  = flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum request body bytes")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "drain window after SIGINT/SIGTERM")
 		incr     = flag.Bool("incremental", true, "use incremental admission analysis when the analyzer supports it")
@@ -72,14 +83,15 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *maxBody, *grace, *incr, *profile); err != nil {
+	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *analyzeT, *inflight, *maxBody, *grace, *incr, *profile); err != nil {
 		logger.Error("delayd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, algo string,
-	cacheSz int, timeout time.Duration, maxBody int64, grace time.Duration, incremental, profile bool) error {
+	cacheSz int, timeout, analyzeTimeout time.Duration, maxInFlight int, maxBody int64,
+	grace time.Duration, incremental, profile bool) error {
 
 	analyzer, err := service.PickAnalyzer(algo)
 	if err != nil {
@@ -122,6 +134,8 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 		Cache:          service.NewCache(cacheSz),
 		Logger:         logger,
 		RequestTimeout: timeout,
+		AnalyzeTimeout: analyzeTimeout,
+		MaxInFlight:    maxInFlight,
 		MaxBodyBytes:   maxBody,
 	})
 	if err != nil {
@@ -144,10 +158,17 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
+	// Every request context descends from baseCtx, so cancelAnalyses tears
+	// through all in-flight analyses at once: their cooperative checkpoints
+	// observe the cancellation and the handlers shed with 503.
+	baseCtx, cancelAnalyses := context.WithCancel(context.Background())
+	defer cancelAnalyses()
+
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(stdnet.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -171,7 +192,15 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+		// The grace expired with requests still running: cancel their
+		// analyses cooperatively and give the handlers a moment to shed.
+		logger.Warn("drain window expired, cancelling in-flight analyses")
+		cancelAnalyses()
+		finalCtx, finalCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer finalCancel()
+		if err := srv.Shutdown(finalCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

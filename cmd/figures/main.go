@@ -8,6 +8,7 @@
 //	figures -fig 5          # only Figure 5
 //	figures -fig burst      # the burstiness-invariance check
 //	figures -fig validate   # simulation vs bounds
+//	figures -fig percentiles # simulated delay percentiles vs bound
 //	figures -fig ablation   # pairing ablation
 //	figures -fig greedygap  # Lemma-4 greedy estimate vs sound bound vs sim
 //	figures -fig gr         # guaranteed-rate comparison
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which figure to produce: 4, 5, 6, burst, validate, ablation, greedygap, gr, sp, edf, chains, admission, all")
+		fig    = flag.String("fig", "all", "which figure to produce: 4, 5, 6, burst, validate, percentiles, ablation, greedygap, gr, sp, edf, chains, admission, all")
 		csvDir = flag.String("csv", "", "directory to write CSV series into")
 	)
 	flag.Parse()
@@ -92,6 +93,13 @@ func main() {
 		text := textplot.PlotLog("Simulated worst case vs analytic bounds (n=4)", series, 64, 16) +
 			"\n" + textplot.Table(series)
 		emit("validation", series, text)
+	}
+	if want("percentiles") {
+		series, err := experiments.DelayPercentileSweep(4, nil, 0.02)
+		check(err)
+		text := textplot.Plot("Conn-0 delay percentiles vs integrated bound (n=4)", series, 64, 14) +
+			"\n" + textplot.Table(series)
+		emit("delay_percentiles", series, text)
 	}
 	if want("ablation") {
 		series, err := experiments.AblationPairing(4, nil)

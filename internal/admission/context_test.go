@@ -1,0 +1,145 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/topo"
+)
+
+// TestIsCanceled pins the cancellation classifier both ways: wrapped
+// context errors count, everything else does not.
+func TestIsCanceled(t *testing.T) {
+	if !IsCanceled(context.Canceled) || !IsCanceled(context.DeadlineExceeded) {
+		t.Fatal("bare context errors not classified as cancellation")
+	}
+	if !IsCanceled(fmt.Errorf("analysis: %w", context.Canceled)) {
+		t.Fatal("wrapped context.Canceled not classified")
+	}
+	if IsCanceled(errors.New("spec invalid")) || IsCanceled(nil) {
+		t.Fatal("non-context errors classified as cancellation")
+	}
+}
+
+// TestTestContextCancelled pins two contract points of the cancelled
+// admission test: the error is a cancellation (never mislabeled as a bad
+// spec) and the engine does NOT fall through to the more expensive full
+// path after an incremental cut-off.
+func TestTestContextCancelled(t *testing.T) {
+	eng, err := NewEngine(fabric(3), analysis.Integrated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the incremental baseline so the cancelled test below takes the
+	// incremental path.
+	if d, err := eng.Admit(conn("warm", 50, 0, 1, 2)); err != nil || !d.Admitted {
+		t.Fatalf("warm admit: %+v, %v", d, err)
+	}
+	fullBefore := eng.Stats().FullTests
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.TestContext(ctx, conn("probe", 50, 0, 1))
+	if err == nil {
+		t.Fatal("cancelled TestContext returned no error")
+	}
+	if !IsCanceled(err) {
+		t.Fatalf("cancelled TestContext error %v not classified by IsCanceled", err)
+	}
+	if got := eng.Stats().FullTests; got != fullBefore {
+		t.Fatalf("cancelled incremental test fell through to the full path: %d -> %d full tests",
+			fullBefore, got)
+	}
+	if eng.Count() != 1 {
+		t.Fatalf("cancelled test mutated the admitted set: count=%d", eng.Count())
+	}
+}
+
+// TestAdmitContextCancelledCommitsNothing checks the hard invariant of a
+// cut-off Admit: no partial commit.
+func TestAdmitContextCancelledCommitsNothing(t *testing.T) {
+	eng, err := NewEngine(fabric(2), analysis.Integrated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.AdmitContext(ctx, conn("v1", 5, 0, 1)); !IsCanceled(err) {
+		t.Fatalf("cancelled AdmitContext error = %v, want cancellation", err)
+	}
+	if eng.Count() != 0 {
+		t.Fatalf("cancelled AdmitContext committed: count=%d", eng.Count())
+	}
+}
+
+// TestAdmitWithCommitsAndStaysConsistent drives the degraded admission
+// path: AdmitWith commits under the fallback analyzer's decision, and the
+// engine's NEXT test (back on the primary analyzer) sees the committed
+// connection exactly as a fresh engine would — the degraded commit must
+// not leave a stale incremental baseline behind.
+func TestAdmitWithCommitsAndStaysConsistent(t *testing.T) {
+	eng, err := NewEngine(fabric(2), analysis.Integrated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the baseline on the primary analyzer first, as a degraded
+	// request would find it.
+	if d, err := eng.Admit(conn("first", 50, 0, 1)); err != nil || !d.Admitted {
+		t.Fatalf("first admit: %+v, %v", d, err)
+	}
+	d, err := eng.AdmitWith(context.Background(), analysis.Decomposed{}, conn("degraded", 50, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Admitted {
+		t.Fatalf("degraded admit rejected: %+v", d)
+	}
+	// The decision's bounds are the fallback analyzer's, not the primary's.
+	decRef, err := analysis.Decomposed{}.Analyze(trialNetworkForTest(t, eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range decRef.Bounds {
+		if d.Bounds[i] != decRef.Bounds[i] {
+			t.Errorf("degraded bound %d = %v, want decomposed %v", i, d.Bounds[i], decRef.Bounds[i])
+		}
+	}
+	if eng.Count() != 2 {
+		t.Fatalf("count = %d after degraded admit, want 2", eng.Count())
+	}
+	// A later test through the normal path must judge against BOTH
+	// admitted connections with the primary analyzer, identically to a
+	// fresh engine holding the same set.
+	fresh, err := NewEngine(fabric(2), analysis.Integrated{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range eng.Admitted() {
+		if d, err := fresh.Admit(c); err != nil || !d.Admitted {
+			t.Fatalf("replaying %q on fresh engine: %+v, %v", c.Name, d, err)
+		}
+	}
+	probe := conn("probe", 50, 0, 1)
+	got, err := eng.Test(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Test(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameDecision(t, "post-degraded-commit", want, got)
+}
+
+// trialNetworkForTest rebuilds the engine's current admitted set as a
+// network for reference analysis.
+func trialNetworkForTest(t *testing.T, eng *Engine) *topo.Network {
+	t.Helper()
+	net := &topo.Network{Servers: fabric(2), Connections: eng.Admitted()}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}

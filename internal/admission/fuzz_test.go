@@ -26,8 +26,8 @@ func FuzzIncrementalEquivalence(f *testing.F) {
 		if shape < 0 {
 			shape = -shape
 		}
-		nServers := int(shape%9) + 2       // 2..10
-		nConns := int((shape/9)%10) + 2    // 2..11
+		nServers := int(shape%9) + 2               // 2..10
+		nConns := int((shape/9)%10) + 2            // 2..11
 		util := 0.1 + float64((shape/90)%80)/100.0 // 0.10..0.89
 		net, err := topo.RandomFeedforward(nServers, nConns, util, seed)
 		if err != nil {

@@ -12,6 +12,8 @@
 package admission
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -21,6 +23,14 @@ import (
 	"delaycalc/internal/server"
 	"delaycalc/internal/topo"
 )
+
+// IsCanceled reports whether an admission-test error is a context
+// cancellation or deadline expiry (as opposed to an invalid candidate or
+// analyzer failure). Callers use it to tell "the request was cut off"
+// from "the request was bad".
+func IsCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // AffectedSet computes the downstream interference closure of a candidate
 // route over the server-sharing graph: a connection is affected when its
@@ -251,43 +261,88 @@ func (s *Snapshot) baseline() (*analysis.Baseline, error) {
 // Test checks whether the candidate could be admitted into this snapshot.
 // It never mutates the engine and is safe to call concurrently.
 func (s *Snapshot) Test(cand topo.Connection) (Decision, error) {
-	d, _, err := s.test(cand)
+	d, _, err := s.test(context.Background(), cand)
 	return d, err
 }
 
-// test returns the decision plus, on the incremental path, the extension
-// to promote on commit.
-func (s *Snapshot) test(cand topo.Connection) (Decision, *analysis.Extension, error) {
+// TestContext is Test with cooperative cancellation: the analysis observes
+// the context and the call returns its error (check with IsCanceled) once
+// it is done. An uncancelled call is bit-identical to Test.
+func (s *Snapshot) TestContext(ctx context.Context, cand topo.Connection) (Decision, error) {
+	d, _, err := s.test(ctx, cand)
+	return d, err
+}
+
+// precheck runs the analysis-free candidate validation shared by every
+// test flavor. proceed is false when the decision (or error) is final.
+func (s *Snapshot) precheck(cand topo.Connection) (trial *topo.Network, d Decision, proceed bool, err error) {
 	if cand.Deadline <= 0 {
-		return Decision{Code: CodeInvalidSpec, Reason: "candidate has no deadline"}, nil,
+		return nil, Decision{Code: CodeInvalidSpec, Reason: "candidate has no deadline"}, false,
 			fmt.Errorf("admission: candidate %q has no deadline", cand.Name)
 	}
-	trial := s.network(cand)
+	trial = s.network(cand)
 	if err := trial.Validate(); err != nil {
-		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, nil, err
+		return nil, Decision{Code: CodeInvalidSpec, Reason: err.Error()}, false, err
 	}
 	if !trial.Stable() {
-		return Decision{Code: CodeUnstable, Reason: "network would be unstable"}, nil, nil
+		return nil, Decision{Code: CodeUnstable, Reason: "network would be unstable"}, false, nil
+	}
+	return trial, Decision{}, true, nil
+}
+
+// test returns the decision plus, on the incremental path, the extension
+// to promote on commit. A cancellation surfaces as a bare error (never as
+// a CodeInvalidSpec decision, and never by silently falling through to
+// the more expensive full path).
+func (s *Snapshot) test(ctx context.Context, cand topo.Connection) (Decision, *analysis.Extension, error) {
+	trial, d, proceed, err := s.precheck(cand)
+	if !proceed {
+		return d, nil, err
 	}
 	affected, _ := AffectedSet(len(s.eng.servers), s.admitted, cand)
 	s.eng.observeAffected(len(affected))
 	if s.eng.inc != nil {
 		if base, err := s.baseline(); err == nil {
-			ext, err := base.Extend(cand)
+			ext, err := base.ExtendContext(ctx, cand)
 			if err == nil {
 				s.eng.incTests.Add(1)
 				return evaluate(trial, ext.Result()), ext, nil
+			}
+			if IsCanceled(err) {
+				return Decision{}, nil, err
 			}
 		}
 		// Baseline or extension failure: fall through to the full path,
 		// which reproduces Controller.Test exactly (including its error).
 	}
 	s.eng.fullTests.Add(1)
-	res, err := s.eng.analyzer.Analyze(trial)
+	res, err := analysis.AnalyzeWithContext(ctx, s.eng.analyzer, trial)
 	if err != nil {
+		if IsCanceled(err) {
+			return Decision{}, nil, err
+		}
 		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, nil, err
 	}
 	return evaluate(trial, res), nil, nil
+}
+
+// testWith runs the full (non-incremental) admission test with an explicit
+// analyzer — the degradation hook: the serving layer retries a timed-out
+// integrated test with the always-valid decomposed analyzer.
+func (s *Snapshot) testWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	trial, d, proceed, err := s.precheck(cand)
+	if !proceed {
+		return d, err
+	}
+	s.eng.fullTests.Add(1)
+	res, err := analysis.AnalyzeWithContext(ctx, analyzer, trial)
+	if err != nil {
+		if IsCanceled(err) {
+			return Decision{}, err
+		}
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, err
+	}
+	return evaluate(trial, res), nil
 }
 
 // Test runs the admission test against the current snapshot, outside any
@@ -296,17 +351,55 @@ func (e *Engine) Test(cand topo.Connection) (Decision, error) {
 	return e.Snapshot().Test(cand)
 }
 
+// TestContext runs the admission test against the current snapshot under a
+// context; see Snapshot.TestContext.
+func (e *Engine) TestContext(ctx context.Context, cand topo.Connection) (Decision, error) {
+	return e.Snapshot().TestContext(ctx, cand)
+}
+
+// TestWith runs a full admission test with an explicit analyzer against
+// the current snapshot — the serving layer's degraded path. The decision
+// is as sound as the analyzer's bounds; it is never committed here.
+func (e *Engine) TestWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	return e.Snapshot().testWith(ctx, analyzer, cand)
+}
+
 // Admit tests the candidate against the current snapshot and, on success,
 // commits it with a version check: if another commit won the race, the
 // test reruns against the fresh snapshot until the commit applies cleanly.
 func (e *Engine) Admit(cand topo.Connection) (Decision, error) {
+	return e.AdmitContext(context.Background(), cand)
+}
+
+// AdmitContext is Admit with cooperative cancellation; a cancelled call
+// returns the context's error (check with IsCanceled) and commits nothing.
+func (e *Engine) AdmitContext(ctx context.Context, cand topo.Connection) (Decision, error) {
 	for {
 		snap := e.Snapshot()
-		d, ext, err := snap.test(cand)
+		d, ext, err := snap.test(ctx, cand)
 		if err != nil || !d.Admitted {
 			return d, err
 		}
 		if e.commit(snap, cand, ext) {
+			return d, nil
+		}
+		e.conflicts.Add(1)
+	}
+}
+
+// AdmitWith is Admit on the degraded path: the test runs with the given
+// analyzer (full, non-incremental), and a positive decision commits with
+// no promoted baseline, so the next incremental test rebuilds one against
+// the primary analyzer. Sound whenever the analyzer's bounds are valid
+// upper bounds (Decomposed always is).
+func (e *Engine) AdmitWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	for {
+		snap := e.Snapshot()
+		d, err := snap.testWith(ctx, analyzer, cand)
+		if err != nil || !d.Admitted {
+			return d, err
+		}
+		if e.commit(snap, cand, nil) {
 			return d, nil
 		}
 		e.conflicts.Add(1)
@@ -364,11 +457,18 @@ func (e *Engine) Utilization() []float64 { return e.Snapshot().Utilization() }
 // admission extends the previous baseline instead of re-analyzing the
 // whole network.
 func (e *Engine) FillGreedy(template topo.Connection, limit int) (int, error) {
+	return e.FillGreedyContext(context.Background(), template, limit)
+}
+
+// FillGreedyContext is FillGreedy with cooperative cancellation between
+// (and inside) admissions; it returns the count admitted so far along with
+// the context's error when cut off.
+func (e *Engine) FillGreedyContext(ctx context.Context, template topo.Connection, limit int) (int, error) {
 	n := 0
 	for n < limit {
 		cand := template
 		cand.Name = fmt.Sprintf("%s#%d", template.Name, e.Count())
-		d, err := e.Admit(cand)
+		d, err := e.AdmitContext(ctx, cand)
 		if err != nil {
 			return n, err
 		}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -107,8 +108,10 @@ func (ra *runAggregates) crossAt(at, lo, hi int) minplus.Curve {
 // parallelValues evaluates f(0..n-1) across the available cores into a
 // slice. Each slot is written by exactly one worker and f is pure, so the
 // result is identical to a sequential evaluation regardless of
-// scheduling.
-func parallelValues(n int, f func(int) float64) []float64 {
+// scheduling. Workers check ctx between evaluations and stop early once
+// it is done, leaving the remaining slots zero; callers must discard the
+// slice after cancellation (they surface ctx.Err() instead).
+func parallelValues(ctx context.Context, n int, f func(int) float64) []float64 {
 	vals := make([]float64, n)
 	workers := maxParallelWorkers()
 	if workers > n {
@@ -116,6 +119,9 @@ func parallelValues(n int, f func(int) float64) []float64 {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if canceled(ctx) {
+				break
+			}
 			vals[i] = f(i)
 		}
 		return vals
@@ -130,7 +136,7 @@ func parallelValues(n int, f func(int) float64) []float64 {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
+				if i >= n || canceled(ctx) {
 					return
 				}
 				vals[i] = f(i)

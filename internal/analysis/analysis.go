@@ -22,6 +22,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -238,8 +239,11 @@ func maxParallelWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // parallelMin evaluates f(0..n-1) across the available cores and returns
 // the minimum. Used for the embarrassingly parallel theta enumerations;
-// the result is deterministic because min is order-independent.
-func parallelMin(n int, f func(int) float64) float64 {
+// the result is deterministic because min is order-independent. Each
+// worker checks ctx between candidates and stops early once it is done;
+// the partial minimum returned after cancellation is meaningless and
+// callers must discard it (they surface ctx.Err() instead).
+func parallelMin(ctx context.Context, n int, f func(int) float64) float64 {
 	if n == 0 {
 		return math.Inf(1)
 	}
@@ -250,6 +254,9 @@ func parallelMin(n int, f func(int) float64) float64 {
 	if workers <= 1 {
 		best := math.Inf(1)
 		for i := 0; i < n; i++ {
+			if canceled(ctx) {
+				break
+			}
 			if v := f(i); v < best {
 				best = v
 			}
@@ -269,7 +276,7 @@ func parallelMin(n int, f func(int) float64) float64 {
 			local := math.Inf(1)
 			for {
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
+				if i >= n || canceled(ctx) {
 					break
 				}
 				if v := f(i); v < local {

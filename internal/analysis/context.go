@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"delaycalc/internal/topo"
+)
+
+// ContextAnalyzer is implemented by analyzers that support cooperative
+// cancellation: AnalyzeContext behaves exactly like Analyze — an
+// uncancelled run returns bit-identical results — but observes the
+// context at internal checkpoints (theta-search candidate fan-out, the
+// level-parallel chain loop, per-server propagation steps) and returns
+// the context's error once it is done. The granularity is one checkpoint
+// per candidate evaluation or chain position, so cancellation latency is
+// bounded by a single curve operation, not a whole analysis.
+type ContextAnalyzer interface {
+	Analyzer
+	AnalyzeContext(ctx context.Context, net *topo.Network) (*Result, error)
+}
+
+// AnalyzeWithContext runs an analyzer under a context: cancellation-aware
+// analyzers get the context plumbed through; for the rest the context is
+// checked once up front (their analyses are cheap enough that cooperative
+// checkpoints buy nothing) and the plain Analyze runs to completion.
+func AnalyzeWithContext(ctx context.Context, a Analyzer, net *topo.Network) (*Result, error) {
+	if ca, ok := a.(ContextAnalyzer); ok {
+		return ca.AnalyzeContext(ctx, net)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	return a.Analyze(net)
+}
+
+// canceled reports whether the context is done. It is the checkpoint
+// predicate of the cancellation-aware paths; on context.Background() the
+// select hits the default case, so an uncancelled analysis takes the
+// exact same computation path as the context-free one.
+func canceled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// ctxErr wraps a context error in the package's error convention while
+// keeping errors.Is(err, context.Canceled / DeadlineExceeded) working.
+func ctxErr(err error) error {
+	return fmt.Errorf("analysis: %w", err)
+}
+
+// Timings accumulates per-stage wall time of one analysis run, in
+// nanoseconds. Stages are the integrated analyzer's phases: partitioning
+// the network into chains, aggregate-envelope construction, the theta
+// search over residual-curve candidates, and bound/envelope propagation.
+// Chains of one dependency level run concurrently, so the counters are
+// atomic and a stage's total can exceed wall-clock time (it is CPU time
+// across workers). Attach a collector with WithTimings; analyzers that
+// find none in the context skip all instrumentation.
+type Timings struct {
+	Partition atomic.Int64
+	Aggregate atomic.Int64
+	Theta     atomic.Int64
+	Propagate atomic.Int64
+}
+
+// StageSeconds returns the accumulated stage times in seconds, keyed by
+// the stage names the serving layer exports as metric labels.
+func (t *Timings) StageSeconds() map[string]float64 {
+	return map[string]float64{
+		"partition": time.Duration(t.Partition.Load()).Seconds(),
+		"aggregate": time.Duration(t.Aggregate.Load()).Seconds(),
+		"theta":     time.Duration(t.Theta.Load()).Seconds(),
+		"propagate": time.Duration(t.Propagate.Load()).Seconds(),
+	}
+}
+
+// observe adds the time elapsed since start to one stage counter.
+func (t *Timings) observe(dst *atomic.Int64, start time.Time) {
+	dst.Add(int64(time.Since(start)))
+}
+
+type timingsKey struct{}
+
+// WithTimings derives a context carrying a fresh stage-timing collector.
+// Context-aware analyzers fill it as they run; read it after the analysis
+// returns.
+func WithTimings(ctx context.Context) (context.Context, *Timings) {
+	t := &Timings{}
+	return context.WithValue(ctx, timingsKey{}, t), t
+}
+
+// timingsFrom extracts the collector, or nil when none is attached.
+func timingsFrom(ctx context.Context) *Timings {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(timingsKey{}).(*Timings)
+	return t
+}

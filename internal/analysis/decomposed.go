@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"delaycalc/internal/minplus"
@@ -26,12 +27,19 @@ type Decomposed struct{}
 func (Decomposed) Name() string { return "Decomposed" }
 
 // Analyze implements Analyzer.
-func (Decomposed) Analyze(net *topo.Network) (*Result, error) {
+func (d Decomposed) Analyze(net *topo.Network) (*Result, error) {
+	return d.AnalyzeContext(context.Background(), net)
+}
+
+// AnalyzeContext implements ContextAnalyzer: the decomposed pass checks
+// the context between servers and returns its error once it is done; an
+// uncancelled run is bit-identical to Analyze.
+func (Decomposed) AnalyzeContext(ctx context.Context, net *topo.Network) (*Result, error) {
 	if err := checkAnalyzable(net); err != nil {
 		return nil, err
 	}
 	net, scale := normalizeNetwork(net)
-	p, _, finite, err := decomposedPass(net)
+	p, _, finite, err := decomposedPass(ctx, net)
 	if err != nil {
 		return nil, err
 	}
@@ -45,8 +53,10 @@ func (Decomposed) Analyze(net *topo.Network) (*Result, error) {
 // and additionally records every connection's traffic envelope at the entry
 // of each of its hops (used by the service-curve analyzer to characterize
 // cross traffic inside the network). finite is false when some stage delay
-// is unbounded, in which case the other return values are meaningless.
-func decomposedPass(net *topo.Network) (p *propagation, perHopEnv [][]minplus.Curve, finite bool, err error) {
+// is unbounded, in which case the other return values are meaningless. The
+// context is checked between servers; once it is done the pass aborts with
+// its error.
+func decomposedPass(ctx context.Context, net *topo.Network) (p *propagation, perHopEnv [][]minplus.Curve, finite bool, err error) {
 	if !net.Stable() {
 		return nil, nil, false, nil
 	}
@@ -65,6 +75,9 @@ func decomposedPass(net *topo.Network) (p *propagation, perHopEnv [][]minplus.Cu
 		}
 	}
 	for _, s := range order {
+		if canceled(ctx) {
+			return nil, nil, false, ctxErr(ctx.Err())
+		}
 		conns := net.ConnectionsAt(s)
 		if len(conns) == 0 {
 			continue

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"delaycalc/internal/minplus"
@@ -49,7 +50,7 @@ func (GuaranteedRateNetworkCurve) Analyze(net *topo.Network) (*Result, error) {
 	res := &Result{Algorithm: "GuaranteedRate/NetworkServiceCurve"}
 	res.Bounds = make([]float64, len(net.Connections))
 	res.Stages = make([][]Stage, len(net.Connections))
-	if pass, _, finite, perr := decomposedPass(net); perr == nil && finite {
+	if pass, _, finite, perr := decomposedPass(context.Background(), net); perr == nil && finite {
 		// Buffer bounds come from the per-hop propagation, which is also
 		// valid for guaranteed-rate servers.
 		res.Backlogs = pass.backlog

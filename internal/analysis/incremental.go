@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -60,8 +61,11 @@ type stepCore interface {
 	// units returns the ordered partition of the normalized network.
 	units(net *topo.Network) ([]unitSpec, error)
 	// apply runs the unit's computation. ok=false degrades the whole
-	// analysis to +Inf, exactly as in the full pass.
-	apply(net *topo.Network, u unitSpec, p *propagation) (ok bool, err error)
+	// analysis to +Inf, exactly as in the full pass. The context feeds the
+	// unit's internal cancellation checkpoints; after cancellation the
+	// outputs are meaningless and the caller must consult ctx.Err() before
+	// interpreting them.
+	apply(ctx context.Context, net *topo.Network, u unitSpec, p *propagation) (ok bool, err error)
 }
 
 // unitSpec identifies one analysis unit by the servers it covers.
@@ -205,7 +209,9 @@ func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
 	}
 	p := newPropagation(norm)
 	for _, u := range units {
-		ok, err := core.apply(norm, u, p)
+		// Baselines are built uncancellable: a half-built baseline would
+		// poison every later Extend, so the build always runs to completion.
+		ok, err := core.apply(context.Background(), norm, u, p)
 		if err != nil {
 			return nil, err
 		}
@@ -288,6 +294,14 @@ func (e *Extension) Promote() *Baseline { return e.promoted }
 // The result is bit-identical to core's full analysis of the trial
 // network.
 func (b *Baseline) Extend(cand topo.Connection) (*Extension, error) {
+	return b.ExtendContext(context.Background(), cand)
+}
+
+// ExtendContext is Extend with cooperative cancellation: the unit replay
+// loop checks the context between units (and recomputed units observe it
+// internally), returning its error once it is done. An uncancelled call is
+// bit-identical to Extend.
+func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Extension, error) {
 	// Trial in caller units, candidate appended last so existing
 	// connection indices are stable.
 	trialOrig := &topo.Network{
@@ -335,6 +349,9 @@ func (b *Baseline) Extend(cand topo.Connection) (*Extension, error) {
 	stats := ExtendStats{}
 	newTrace := make(map[string]*unitTrace, len(units))
 	for _, u := range units {
+		if canceled(ctx) {
+			return nil, ctxErr(ctx.Err())
+		}
 		conns := u.crossing(trial)
 		old := b.trace[u.key()]
 		isDirty := old == nil
@@ -347,9 +364,12 @@ func (b *Baseline) Extend(cand topo.Connection) (*Extension, error) {
 			}
 		}
 		if isDirty {
-			ok, err := b.core.apply(trial, u, p)
+			ok, err := b.core.apply(ctx, trial, u, p)
 			if err != nil {
 				return nil, err
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, ctxErr(cerr)
 			}
 			if !ok {
 				res := allInf(b.core.name(), trial)
@@ -399,7 +419,9 @@ func (decomposedCore) units(net *topo.Network) ([]unitSpec, error) {
 	return units, nil
 }
 
-func (decomposedCore) apply(net *topo.Network, u unitSpec, p *propagation) (bool, error) {
+func (decomposedCore) apply(_ context.Context, net *topo.Network, u unitSpec, p *propagation) (bool, error) {
+	// One server is the unit of cancellation granularity here; the driver
+	// checks the context between units.
 	return decomposedServerStep(net, u.servers[0], p)
 }
 
@@ -436,6 +458,6 @@ func (ic integratedCore) units(net *topo.Network) ([]unitSpec, error) {
 	return units, nil
 }
 
-func (ic integratedCore) apply(net *topo.Network, u unitSpec, p *propagation) (bool, error) {
-	return analyzeChain(net, u.servers, p, ic.a.DeconvPropagation), nil
+func (ic integratedCore) apply(ctx context.Context, net *topo.Network, u unitSpec, p *propagation) (bool, error) {
+	return analyzeChain(ctx, net, u.servers, p, ic.a.DeconvPropagation), nil
 }

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"delaycalc/internal/minplus"
 	"delaycalc/internal/server"
@@ -101,6 +103,15 @@ type subnetwork struct {
 
 // Analyze implements Analyzer.
 func (a Integrated) Analyze(net *topo.Network) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), net)
+}
+
+// AnalyzeContext implements ContextAnalyzer: the same analysis as Analyze
+// with cooperative cancellation checkpoints between chains, between chain
+// positions, and inside the theta-search candidate fan-out. An uncancelled
+// run is bit-identical to Analyze; once the context is done the partial
+// state is discarded and the context's error is returned.
+func (a Integrated) AnalyzeContext(ctx context.Context, net *topo.Network) (*Result, error) {
 	if err := checkAnalyzable(net); err != nil {
 		return nil, err
 	}
@@ -113,6 +124,8 @@ func (a Integrated) Analyze(net *topo.Network) (*Result, error) {
 	if !net.Stable() {
 		return allInf("Integrated", net), nil
 	}
+	tm := timingsFrom(ctx)
+	partStart := time.Now()
 	subnets, err := a.partition(net)
 	if err != nil {
 		return nil, err
@@ -121,18 +134,32 @@ func (a Integrated) Analyze(net *topo.Network) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var levels [][]subnetwork
+	if !a.Sequential {
+		levels = levelizeSubnetworks(net, ordered)
+	}
+	if tm != nil {
+		tm.observe(&tm.Partition, partStart)
+	}
 	p := newPropagation(net)
 	if a.Sequential {
 		for _, sn := range ordered {
-			if ok := analyzeChain(net, sn.servers, p, a.DeconvPropagation); !ok {
+			ok := analyzeChain(ctx, net, sn.servers, p, a.DeconvPropagation)
+			if err := ctx.Err(); err != nil {
+				return nil, ctxErr(err)
+			}
+			if !ok {
 				return allInf("Integrated", net), nil
 			}
 		}
 	} else {
-		for _, level := range levelizeSubnetworks(net, ordered) {
+		for _, level := range levels {
 			ok := analyzeLevel(level, func(sn subnetwork) bool {
-				return analyzeChain(net, sn.servers, p, a.DeconvPropagation)
+				return analyzeChain(ctx, net, sn.servers, p, a.DeconvPropagation)
 			})
+			if err := ctx.Err(); err != nil {
+				return nil, ctxErr(err)
+			}
 			if !ok {
 				return allInf("Integrated", net), nil
 			}
@@ -509,7 +536,14 @@ type run struct {
 // computed once per position (runAggregates), and the total, entry and
 // cross aggregates every DP interval needs are k-way sums of those
 // partials rather than per-interval folds over individual connections.
-func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) bool {
+//
+// The context is checked between chain positions and between runs, and
+// flows into the theta search; after cancellation the function may return
+// early with arbitrary partial state in p, so callers must consult
+// ctx.Err() before interpreting the result. A Timings collector attached
+// to the context receives the chain's aggregate / theta / propagate time.
+func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propagation, deconv bool) bool {
+	tm := timingsFrom(ctx)
 	pos := make(map[int]int, len(chain))
 	for i, s := range chain {
 		pos[s] = i
@@ -582,6 +616,7 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 		iters = 3
 	}
 	for iter := 0; iter < iters; iter++ {
+		aggStart := time.Now()
 		envAt := make([]map[int]minplus.Curve, len(chain)+1)
 		local := make([]float64, len(chain))
 		for i := range envAt {
@@ -600,6 +635,9 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 		}
 		ra := newRunAggregates(len(chain), runs)
 		for i := range chain {
+			if canceled(ctx) {
+				return false
+			}
 			srv := net.Servers[chain[i]]
 			ra.fill(i, envAt[i])
 			agg := ra.total(i)
@@ -621,9 +659,16 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 				}
 			}
 		}
-		bounds = newIntervalBounds(net, chain, runs, ra, envAt, local)
+		if tm != nil {
+			tm.observe(&tm.Aggregate, aggStart)
+		}
+		thetaStart := time.Now()
+		bounds = newIntervalBounds(ctx, net, chain, runs, ra, envAt, local)
 		// Record the DP prefix bounds as the next iteration's shifts.
 		for _, r := range runs {
+			if canceled(ctx) {
+				return false
+			}
 			for _, c := range r.conns {
 				shifts := make([]float64, r.hi-r.lo+1)
 				for i := r.lo + 1; i <= r.hi; i++ {
@@ -632,13 +677,24 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 				prefix[c] = shifts
 			}
 		}
+		if tm != nil {
+			tm.observe(&tm.Theta, thetaStart)
+		}
 	}
 	for ri, r := range runs {
+		if canceled(ctx) {
+			return false
+		}
 		servers := make([]int, 0, r.hi-r.lo+1)
 		for i := r.lo; i <= r.hi; i++ {
 			servers = append(servers, chain[i])
 		}
+		thetaStart := time.Now()
 		d := bounds.best(r.lo, r.hi)
+		if tm != nil {
+			tm.observe(&tm.Theta, thetaStart)
+		}
+		propStart := time.Now()
 		var excl *runExclSums
 		if deconv && r.hi > r.lo {
 			excl = newRunExclSums(bounds, ri)
@@ -654,6 +710,9 @@ func analyzeChain(net *topo.Network, chain []int, p *propagation, deconv bool) b
 					p.env[c] = minplus.Min(p.env[c], *refined)
 				}
 			}
+		}
+		if tm != nil {
+			tm.observe(&tm.Propagate, propStart)
 		}
 	}
 	return true
@@ -744,6 +803,7 @@ func deconvOutput(net *topo.Network, chain []int, r *run, mi int, entry minplus.
 // intervalBounds lazily computes and memoizes the direct bound B[i][j] and
 // the segmented optimum D[i][j] for chain intervals.
 type intervalBounds struct {
+	ctx    context.Context // cancellation for the theta searches it spawns
 	net    *topo.Network
 	chain  []int
 	runs   []*run
@@ -754,9 +814,9 @@ type intervalBounds struct {
 	opt    map[[2]int]float64
 }
 
-func newIntervalBounds(net *topo.Network, chain []int, runs []*run, ra *runAggregates, envAt []map[int]minplus.Curve, local []float64) *intervalBounds {
+func newIntervalBounds(ctx context.Context, net *topo.Network, chain []int, runs []*run, ra *runAggregates, envAt []map[int]minplus.Curve, local []float64) *intervalBounds {
 	return &intervalBounds{
-		net: net, chain: chain, runs: runs, ra: ra, envAt: envAt, local: local,
+		ctx: ctx, net: net, chain: chain, runs: runs, ra: ra, envAt: envAt, local: local,
 		direct: map[[2]int]float64{},
 		opt:    map[[2]int]float64{},
 	}
@@ -790,7 +850,7 @@ func (ib *intervalBounds) directBound(lo, hi int) float64 {
 	if d, ok := ib.direct[key]; ok {
 		return d
 	}
-	d := runIntervalBound(ib.net, ib.chain, lo, hi, ib.ra, ib.local)
+	d := runIntervalBound(ib.ctx, ib.net, ib.chain, lo, hi, ib.ra, ib.local)
 	ib.direct[key] = d
 	return d
 }
@@ -803,7 +863,7 @@ func (ib *intervalBounds) directBound(lo, hi int) float64 {
 // two servers, coordinate descent for longer intervals — every
 // evaluation is a valid bound, so any search strategy is sound), clamped
 // by the decomposed sum of local delays.
-func runIntervalBound(net *topo.Network, chain []int, lo, hi int, ra *runAggregates, local []float64) float64 {
+func runIntervalBound(ctx context.Context, net *topo.Network, chain []int, lo, hi int, ra *runAggregates, local []float64) float64 {
 	agg := ra.covering(lo, lo, hi)
 
 	k := hi - lo + 1
@@ -823,6 +883,7 @@ func runIntervalBound(net *topo.Network, chain []int, lo, hi int, ra *runAggrega
 	}
 
 	ts := &thetaSearch{
+		ctx:   ctx,
 		agg:   agg,
 		cands: cands,
 		residual: func(i int, theta float64) minplus.Curve {

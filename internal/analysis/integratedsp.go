@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -45,6 +46,14 @@ func (IntegratedSP) Name() string { return "IntegratedSP" }
 
 // Analyze implements Analyzer.
 func (a IntegratedSP) Analyze(net *topo.Network) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), net)
+}
+
+// AnalyzeContext implements ContextAnalyzer: the per-class chain analysis
+// checks the context between chains and classes, and the theta searches it
+// spawns stop between candidates once the context is done. An uncancelled
+// run is bit-identical to Analyze.
+func (a IntegratedSP) AnalyzeContext(ctx context.Context, net *topo.Network) (*Result, error) {
 	if err := checkAnalyzable(net); err != nil {
 		return nil, err
 	}
@@ -68,7 +77,11 @@ func (a IntegratedSP) Analyze(net *topo.Network) (*Result, error) {
 	}
 	p := newPropagation(net)
 	for _, sn := range ordered {
-		if ok := analyzeSPChain(net, sn.servers, p); !ok {
+		ok := analyzeSPChain(ctx, net, sn.servers, p)
+		if err := ctx.Err(); err != nil {
+			return nil, ctxErr(err)
+		}
+		if !ok {
 			return allInf("IntegratedSP", net), nil
 		}
 	}
@@ -78,7 +91,7 @@ func (a IntegratedSP) Analyze(net *topo.Network) (*Result, error) {
 // analyzeSPChain handles one chain of static-priority servers: classes in
 // priority order, each analyzed like a FIFO chain against the leftover
 // rate-latency guarantees after all more-urgent classes.
-func analyzeSPChain(net *topo.Network, chain []int, p *propagation) bool {
+func analyzeSPChain(ctx context.Context, net *topo.Network, chain []int, p *propagation) bool {
 	pos := make(map[int]int, len(chain))
 	for i, s := range chain {
 		pos[s] = i
@@ -105,7 +118,10 @@ func analyzeSPChain(net *topo.Network, chain []int, p *propagation) bool {
 	}
 
 	for _, class := range classes {
-		if !analyzeSPClass(net, chain, pos, class, higherEnv, p) {
+		if canceled(ctx) {
+			return false
+		}
+		if !analyzeSPClass(ctx, net, chain, pos, class, higherEnv, p) {
 			return false
 		}
 	}
@@ -119,7 +135,7 @@ func analyzeSPChain(net *topo.Network, chain []int, p *propagation) bool {
 
 // analyzeSPClass runs the FIFO-style run analysis for one priority class
 // of a chain and folds the class's per-position envelopes into higherEnv.
-func analyzeSPClass(net *topo.Network, chain []int, pos map[int]int, class int, higherEnv []minplus.Curve, p *propagation) bool {
+func analyzeSPClass(ctx context.Context, net *topo.Network, chain []int, pos map[int]int, class int, higherEnv []minplus.Curve, p *propagation) bool {
 	// Runs of this class within the chain.
 	runIndex := map[[2]int]*run{}
 	var runs []*run
@@ -215,7 +231,7 @@ func analyzeSPClass(net *topo.Network, chain []int, pos map[int]int, class int, 
 				}
 			}
 		}
-		d := spRunBound(net, chain, lo, hi, covering, envAt, guar, local)
+		d := spRunBound(ctx, net, chain, lo, hi, covering, envAt, guar, local)
 		direct[key{lo, hi}] = d
 		return d
 	}
@@ -277,7 +293,7 @@ func spRateLatencyGuarantee(capacity float64, higher minplus.Curve, lat float64)
 // standard FIFO-node form, sound for every theta. The theta minimization
 // is the shared memoized search (thetaSearch) with the rate-latency
 // residual family injected.
-func spRunBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, envAt []map[int]minplus.Curve, guar []minplus.Curve, local []float64) float64 {
+func spRunBound(ctx context.Context, net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, envAt []map[int]minplus.Curve, guar []minplus.Curve, local []float64) float64 {
 	entry := make(map[int]minplus.Curve, len(inAgg))
 	for c := range inAgg {
 		entry[c] = envAt[lo][c]
@@ -302,6 +318,7 @@ func spRunBound(net *topo.Network, chain []int, lo, hi int, inAgg map[int]bool, 
 	}
 
 	ts := &thetaSearch{
+		ctx:   ctx,
 		agg:   agg,
 		cands: cands,
 		residual: func(i int, theta float64) minplus.Curve {

@@ -14,6 +14,7 @@ package analysis
 // as-is; everything the overhaul rewrote is copied.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -363,7 +364,7 @@ func refRunIntervalBound(net *topo.Network, chain []int, lo, hi int, inAgg map[i
 				jobs = append(jobs, pair{t0, t1})
 			}
 		}
-		best = parallelMin(len(jobs), func(i int) float64 {
+		best = parallelMin(context.Background(), len(jobs), func(i int) float64 {
 			return evalAt([]float64{jobs[i].t0, jobs[i].t1})
 		})
 	} else {

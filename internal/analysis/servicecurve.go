@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"delaycalc/internal/minplus"
@@ -43,7 +44,7 @@ func (ServiceCurve) Analyze(net *topo.Network) (*Result, error) {
 			return nil, fmt.Errorf("analysis: ServiceCurve applies to FIFO networks; server %d is %v", i, s.Discipline)
 		}
 	}
-	pass, perHopEnv, finite, err := decomposedPass(net)
+	pass, perHopEnv, finite, err := decomposedPass(context.Background(), net)
 	if err != nil {
 		return nil, err
 	}

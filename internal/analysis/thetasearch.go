@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 
 	"delaycalc/internal/minplus"
@@ -17,12 +18,13 @@ import (
 //   - residual curves are memoized per (position, candidate) — a k=2
 //     enumeration over c0 x c1 pairs builds c0 + c1 residuals, not
 //     2*c0*c1;
+//
 //   - the k=2 enumeration uses the gated-convex closed form of the
 //     convolution when every residual decomposes (always the case against
 //     concave cross traffic): with residual_i = Delay_{g_i}(chi_i),
 //
-//	h(A, res_0 ⊗ res_1) = g_0 + g_1 +
-//	    max( h(A, chi_0), h(A, chi_1), h(A, J_0+J_1 + psi_0 ⊗ psi_1) ),
+//     h(A, res_0 ⊗ res_1) = g_0 + g_1 +
+//     max( h(A, chi_0), h(A, chi_1), h(A, J_0+J_1 + psi_0 ⊗ psi_1) ),
 //
 //     where psi_0 ⊗ psi_1 is an O(n) ascending-slope merge
 //     (minplus.ConvolveConvexParts) — the per-candidate deviations
@@ -32,14 +34,21 @@ import (
 //     positive on (0, eps) — checked, with fallback to the generic
 //     convolution — and the lower pseudo-inverse of a min of
 //     non-decreasing curves is the max of their pseudo-inverses;
+//
 //   - coordinate descent for k > 2 convolves the fixed prefix and suffix
 //     of the scanned coordinate once per scan, so each candidate pays two
 //     convolutions instead of k-1, and memoizes evaluated theta vectors
 //     across passes;
+//
 //   - candidate evaluations fan out across cores (parallelValues /
 //     parallelMin); the reduction is sequential over the precomputed
 //     values, replicating the serial argmin exactly.
 type thetaSearch struct {
+	// ctx carries the cancellation signal into the candidate fan-out: the
+	// parallel enumerations stop between candidates once it is done. A
+	// cancelled search returns a meaningless partial minimum; the owning
+	// analyzer checks the context after minimize and discards the value.
+	ctx      context.Context
 	agg      minplus.Curve
 	cands    [][]float64
 	residual func(pos int, theta float64) minplus.Curve
@@ -111,14 +120,14 @@ func (ts *thetaSearch) enumeratePairs() float64 {
 				parts[i][ci].hd = minplus.HorizontalDeviation(ts.agg, chi)
 			}
 		}
-		return parallelMin(n0*n1, func(idx int) float64 {
+		return parallelMin(ts.ctx, n0*n1, func(idx int) float64 {
 			a, b := &parts[0][idx/n1], &parts[1][idx%n1]
 			w := minplus.ConvolveConvexParts(a.dec, b.dec)
 			hd := math.Max(math.Max(a.hd, b.hd), minplus.HorizontalDeviation(ts.agg, w))
 			return a.dec.Gate + b.dec.Gate + hd
 		})
 	}
-	return parallelMin(n0*n1, func(idx int) float64 {
+	return parallelMin(ts.ctx, n0*n1, func(idx int) float64 {
 		beta := minplus.Convolve(ts.residualAt(0, idx/n1), ts.residualAt(1, idx%n1))
 		return minplus.HorizontalDeviation(ts.agg, beta)
 	})
@@ -150,6 +159,9 @@ func (ts *thetaSearch) coordinateDescent() float64 {
 	for pass := 0; pass < 3; pass++ {
 		improved := false
 		for i := 0; i < k; i++ {
+			if canceled(ts.ctx) {
+				return best
+			}
 			// Convolve the fixed prefix and suffix once; min-plus
 			// convolution is associative, so prefix ⊗ res_i ⊗ suffix is
 			// the same curve as the left fold.
@@ -186,7 +198,7 @@ func (ts *thetaSearch) coordinateDescent() float64 {
 				seen[key] = d
 				return d
 			}
-			vals := parallelValues(len(ts.cands[i]), evalCand)
+			vals := parallelValues(ts.ctx, len(ts.cands[i]), evalCand)
 			bestHere := idx[i]
 			for ci := range ts.cands[i] {
 				if ci == bestHere {

@@ -127,6 +127,30 @@ func TestValidationSweepSoundness(t *testing.T) {
 	}
 }
 
+// TestDelayPercentileSweep checks the sampling-enabled experiment: no NaN
+// anywhere (the bug this experiment guards against), percentiles ordered,
+// and the p100 simulated worst case inside the analytic bound.
+func TestDelayPercentileSweep(t *testing.T) {
+	series, err := DelayPercentileSweep(3, quickLoads, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, p99, p100, bound := series[0], series[1], series[2], series[3]
+	for i := range p50.Y {
+		for _, s := range series {
+			if math.IsNaN(s.Y[i]) {
+				t.Fatalf("%s at U=%g is NaN", s.Name, s.X[i])
+			}
+		}
+		if !(p50.Y[i] <= p99.Y[i] && p99.Y[i] <= p100.Y[i]) {
+			t.Errorf("U=%g: percentiles not ordered: %g %g %g", p50.X[i], p50.Y[i], p99.Y[i], p100.Y[i])
+		}
+		if p100.Y[i] > bound.Y[i]+0.1 {
+			t.Errorf("U=%g: simulated p100 %g exceeds integrated bound %g", p100.X[i], p100.Y[i], bound.Y[i])
+		}
+	}
+}
+
 func TestAblationPairing(t *testing.T) {
 	series, err := AblationPairing(4, quickLoads)
 	if err != nil {

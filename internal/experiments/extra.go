@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"delaycalc/internal/admission"
 	"delaycalc/internal/analysis"
@@ -48,6 +49,54 @@ func ValidationSweep(n int, loads []float64, packetSize float64) ([]textplot.Ser
 		}
 	}
 	return append([]textplot.Series{simS}, bounds...), nil
+}
+
+// DelayPercentileSweep simulates the paper tandem with per-packet sampling
+// enabled and reports conn-0 delay percentiles (p50, p99, p100) next to
+// the integrated bound: how far inside the worst-case envelope typical
+// packets live. Sampling MUST be on here — sim.ConnStats.Percentile
+// returns NaN without Config.KeepSamples, which would silently poison the
+// table — and the guard below turns any residual NaN into an error instead
+// of a corrupt figure.
+func DelayPercentileSweep(n int, loads []float64, packetSize float64) ([]textplot.Series, error) {
+	if loads == nil {
+		loads = DefaultLoads
+	}
+	p50 := textplot.Series{Name: fmt.Sprintf("p50(%d)", n)}
+	p99 := textplot.Series{Name: fmt.Sprintf("p99(%d)", n)}
+	p100 := textplot.Series{Name: fmt.Sprintf("p100(%d)", n)}
+	bound := textplot.Series{Name: fmt.Sprintf("Integrated(%d)", n)}
+	for _, u := range loads {
+		net, err := topo.PaperTandem(n, u)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(net, sim.Config{
+			PacketSize: packetSize, Horizon: sim.WorstCaseHorizon(net), KeepSamples: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st := res.Stats[0]
+		for _, q := range []struct {
+			s *textplot.Series
+			p float64
+		}{{&p50, 0.5}, {&p99, 0.99}, {&p100, 1}} {
+			v := st.Percentile(q.p)
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("percentile sweep: p%g is NaN at load %g (sampling disabled?)", 100*q.p, u)
+			}
+			q.s.X = append(q.s.X, u)
+			q.s.Y = append(q.s.Y, v)
+		}
+		r, err := (analysis.Integrated{}).Analyze(net)
+		if err != nil {
+			return nil, err
+		}
+		bound.X = append(bound.X, u)
+		bound.Y = append(bound.Y, r.Bound(0))
+	}
+	return []textplot.Series{p50, p99, p100, bound}, nil
 }
 
 // AblationPairing quantifies the value of the two-server pairing: the same

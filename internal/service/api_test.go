@@ -117,7 +117,8 @@ func TestErrorEnvelopeCodes(t *testing.T) {
 	}
 }
 
-// TestErrorEnvelopeTimeout pins the timeout code on both timed endpoints.
+// TestErrorEnvelopeTimeout pins the shed envelope on every timed endpoint:
+// a passed hard deadline answers 503 + Retry-After with the timeout code.
 func TestErrorEnvelopeTimeout(t *testing.T) {
 	srv := newTestServer(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
 	for _, c := range []struct{ path, body string }{
@@ -126,8 +127,11 @@ func TestErrorEnvelopeTimeout(t *testing.T) {
 		{"/v1/admit/batch", `{"connections": [` + connectionOf(admitBody) + `]}`},
 	} {
 		w := do(t, srv, "POST", c.path, c.body)
-		if w.Code != http.StatusGatewayTimeout {
-			t.Fatalf("%s: want 504, got %d %s", c.path, w.Code, w.Body)
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s: want 503, got %d %s", c.path, w.Code, w.Body)
+		}
+		if got := w.Header().Get("Retry-After"); got == "" {
+			t.Fatalf("%s: shed response missing Retry-After header", c.path)
 		}
 		if env := decode[errorResponse](t, w); env.Error.Code != CodeTimeout {
 			t.Fatalf("%s: want code %q, got %s", c.path, CodeTimeout, w.Body)

@@ -51,8 +51,11 @@ func (c *Cache) Get(key string) (*analysis.Result, bool) {
 }
 
 // Put stores a result, evicting the least recently used entry when full.
+// A nil result is rejected: caching one would serve it as a hit forever,
+// turning a single error-path slip at a call site into a permanently
+// poisoned key.
 func (c *Cache) Put(key string, res *analysis.Result) {
-	if c.capacity <= 0 {
+	if c.capacity <= 0 || res == nil {
 		return
 	}
 	c.mu.Lock()

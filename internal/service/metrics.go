@@ -37,6 +37,10 @@ func (h *histogram) observe(seconds float64) {
 	h.count++
 }
 
+// analysisStages are the per-stage timing labels in render order; they
+// mirror analysis.Timings.
+var analysisStages = []string{"aggregate", "partition", "propagate", "theta"}
+
 // Metrics accumulates request counters, an in-flight gauge, and
 // per-endpoint latency histograms, and renders them in the Prometheus
 // text exposition format without any external dependency.
@@ -44,7 +48,11 @@ type Metrics struct {
 	mu       sync.Mutex
 	requests map[string]map[int]uint64 // endpoint -> status code -> count
 	hist     map[string]*histogram     // endpoint -> latency histogram
+	stages   map[string]*histogram     // analysis stage -> timing histogram
 	inFlight int64                     // atomic
+	queued   int64                     // atomic: requests waiting for an analysis slot
+	degraded uint64                    // atomic: requests served from the decomposed fallback
+	shed     uint64                    // atomic: requests shed at the hard deadline or queue
 }
 
 // NewMetrics builds an empty metrics accumulator.
@@ -52,6 +60,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[string]map[int]uint64),
 		hist:     make(map[string]*histogram),
+		stages:   make(map[string]*histogram),
 	}
 }
 
@@ -86,6 +95,40 @@ func (m *Metrics) RequestCount(endpoint string, code int) uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.requests[endpoint][code]
+}
+
+// QueueEntered / QueueLeft track the analysis-slot wait queue.
+func (m *Metrics) QueueEntered() { atomic.AddInt64(&m.queued, 1) }
+func (m *Metrics) QueueLeft()    { atomic.AddInt64(&m.queued, -1) }
+
+// QueueDepth returns the number of requests currently waiting for an
+// analysis slot.
+func (m *Metrics) QueueDepth() int64 { return atomic.LoadInt64(&m.queued) }
+
+// DegradedServed counts one request answered from the decomposed fallback.
+func (m *Metrics) DegradedServed() { atomic.AddUint64(&m.degraded, 1) }
+
+// Degraded returns the cumulative degraded-request count.
+func (m *Metrics) Degraded() uint64 { return atomic.LoadUint64(&m.degraded) }
+
+// RequestShed counts one request rejected with 503 (hard deadline passed
+// before an analysis slot or result was available).
+func (m *Metrics) RequestShed() { atomic.AddUint64(&m.shed, 1) }
+
+// Shed returns the cumulative shed-request count.
+func (m *Metrics) Shed() uint64 { return atomic.LoadUint64(&m.shed) }
+
+// ObserveStage records one analysis stage's accumulated time in seconds.
+// Stage names come from analysis.Timings.StageSeconds.
+func (m *Metrics) ObserveStage(stage string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.stages[stage] = h
+	}
+	h.observe(seconds)
 }
 
 // gaugeLine formats one sample line.
@@ -126,6 +169,36 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintln(w, "# HELP delayd_in_flight_requests Requests currently being handled.")
 	fmt.Fprintln(w, "# TYPE delayd_in_flight_requests gauge")
 	gaugeLine(w, "delayd_in_flight_requests", "", float64(atomic.LoadInt64(&m.inFlight)))
+
+	fmt.Fprintln(w, "# HELP delayd_analysis_queue_depth Requests waiting for an analysis slot.")
+	fmt.Fprintln(w, "# TYPE delayd_analysis_queue_depth gauge")
+	gaugeLine(w, "delayd_analysis_queue_depth", "", float64(atomic.LoadInt64(&m.queued)))
+
+	fmt.Fprintln(w, "# HELP delayd_degraded_requests_total Requests answered from the decomposed fallback after the soft analysis budget expired.")
+	fmt.Fprintln(w, "# TYPE delayd_degraded_requests_total counter")
+	gaugeLine(w, "delayd_degraded_requests_total", "", float64(atomic.LoadUint64(&m.degraded)))
+
+	fmt.Fprintln(w, "# HELP delayd_shed_requests_total Requests shed with 503 at the hard deadline or while queued.")
+	fmt.Fprintln(w, "# TYPE delayd_shed_requests_total counter")
+	gaugeLine(w, "delayd_shed_requests_total", "", float64(atomic.LoadUint64(&m.shed)))
+
+	fmt.Fprintln(w, "# HELP delayd_analysis_stage_seconds Per-analysis stage time (partition/aggregate/theta/propagate), by stage.")
+	fmt.Fprintln(w, "# TYPE delayd_analysis_stage_seconds histogram")
+	for _, st := range analysisStages {
+		h := m.stages[st]
+		if h == nil {
+			h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		}
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			gaugeLine(w, "delayd_analysis_stage_seconds_bucket",
+				fmt.Sprintf(`stage=%q,le="%s"`, st, strconv.FormatFloat(ub, 'g', -1, 64)), float64(cum))
+		}
+		gaugeLine(w, "delayd_analysis_stage_seconds_bucket", fmt.Sprintf(`stage=%q,le="+Inf"`, st), float64(h.count))
+		gaugeLine(w, "delayd_analysis_stage_seconds_sum", fmt.Sprintf("stage=%q", st), h.sum)
+		gaugeLine(w, "delayd_analysis_stage_seconds_count", fmt.Sprintf("stage=%q", st), float64(h.count))
+	}
 
 	fmt.Fprintln(w, "# HELP delayd_request_duration_seconds Request latency, by endpoint.")
 	fmt.Fprintln(w, "# TYPE delayd_request_duration_seconds histogram")

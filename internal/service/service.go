@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -21,6 +22,8 @@ import (
 // Defaults applied by NewServer when the corresponding Config field is zero.
 const (
 	DefaultRequestTimeout = 10 * time.Second
+	DefaultAnalyzeTimeout = 5 * time.Second
+	DefaultMaxInFlight    = 64
 	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB
 	DefaultCacheSize      = 256
 )
@@ -33,8 +36,22 @@ type Config struct {
 	Cache *Cache
 	// Logger receives structured request logs; a no-op logger when nil.
 	Logger *slog.Logger
-	// RequestTimeout bounds each request's context.
+	// RequestTimeout bounds each request's context — the HARD deadline:
+	// once it passes, the request is shed with a 503 envelope and a
+	// Retry-After header, and its in-flight analysis is cancelled.
 	RequestTimeout time.Duration
+	// AnalyzeTimeout is the SOFT analysis budget: when the requested
+	// analyzer exceeds it, the request degrades to the always-sound
+	// decomposed bound, labeled degraded:true with the bound source.
+	// Zero applies DefaultAnalyzeTimeout; negative disables degradation
+	// (the analyzer runs until the hard deadline). Overridable
+	// per-request via timeout_seconds.
+	AnalyzeTimeout time.Duration
+	// MaxInFlight bounds the number of concurrently running analyses
+	// across the analyze and admit endpoints; excess requests queue
+	// until a slot frees or their hard deadline sheds them. Zero applies
+	// DefaultMaxInFlight; negative disables the bound.
+	MaxInFlight int
 	// MaxBodyBytes bounds request body sizes; oversized bodies get 413.
 	MaxBodyBytes int64
 }
@@ -45,13 +62,16 @@ type Config struct {
 // was versioned still work but answer with a Deprecation header pointing
 // at their successor.
 type Server struct {
-	state   *State
-	cache   *Cache
-	log     *slog.Logger
-	metrics *Metrics
-	timeout time.Duration
-	maxBody int64
-	mux     *http.ServeMux
+	state      *State
+	cache      *Cache
+	log        *slog.Logger
+	metrics    *Metrics
+	timeout    time.Duration
+	softBudget time.Duration // <= 0: degradation disabled
+	sem        chan struct{} // analysis slots; nil: unbounded
+	pick       func(string) (analysis.Analyzer, error)
+	maxBody    int64
+	mux        *http.ServeMux
 }
 
 // route is one row of the Server's registration table: a canonical
@@ -92,12 +112,14 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("service: Config.State is required")
 	}
 	s := &Server{
-		state:   cfg.State,
-		cache:   cfg.Cache,
-		log:     cfg.Logger,
-		metrics: NewMetrics(),
-		timeout: cfg.RequestTimeout,
-		maxBody: cfg.MaxBodyBytes,
+		state:      cfg.State,
+		cache:      cfg.Cache,
+		log:        cfg.Logger,
+		metrics:    NewMetrics(),
+		timeout:    cfg.RequestTimeout,
+		softBudget: cfg.AnalyzeTimeout,
+		pick:       PickAnalyzer,
+		maxBody:    cfg.MaxBodyBytes,
 	}
 	if s.cache == nil {
 		s.cache = NewCache(DefaultCacheSize)
@@ -107,6 +129,16 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if s.timeout <= 0 {
 		s.timeout = DefaultRequestTimeout
+	}
+	if s.softBudget == 0 {
+		s.softBudget = DefaultAnalyzeTimeout
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	if maxInFlight > 0 {
+		s.sem = make(chan struct{}, maxInFlight)
 	}
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
@@ -175,7 +207,8 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		}
 		defer func() {
 			if p := recover(); p != nil {
-				s.log.Error("panic", "endpoint", endpoint, "panic", p)
+				s.log.Error("panic", "endpoint", endpoint, "panic", p,
+					"stack", string(debug.Stack()))
 				if rec.status == http.StatusOK {
 					writeError(rec, http.StatusInternalServerError, CodeInternal, "internal error")
 				}
@@ -257,6 +290,161 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// fallbackAnalyzer is the degradation target: the decomposed (Cruz)
+// analysis is always valid — its bound dominates the integrated bound on
+// every network — and cheap, so falling back to it under time pressure
+// trades tightness for latency without ever returning an unsound bound.
+var fallbackAnalyzer = analysis.Decomposed{}
+
+// degradable reports whether an analyzer has a cheaper sound fallback
+// (everything except the fallback itself).
+func degradable(a analysis.Analyzer) bool {
+	_, isDecomposed := a.(analysis.Decomposed)
+	return !isDecomposed
+}
+
+// shed rejects a request whose hard deadline passed (or that could not get
+// an analysis slot in time) with the 503 envelope and a Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, msg string) {
+	s.metrics.RequestShed()
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, CodeTimeout, msg)
+}
+
+// acquireSlot takes one bounded-concurrency analysis slot, queueing (and
+// exporting the queue depth) until one frees or the request's hard
+// deadline sheds it. Reports false when the context won.
+func (s *Server) acquireSlot(ctx context.Context) bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	s.metrics.QueueEntered()
+	defer s.metrics.QueueLeft()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// releaseSlot returns an analysis slot.
+func (s *Server) releaseSlot() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// softContext derives the soft-budget context for one analysis: the
+// per-request override (seconds) when positive, the server default
+// otherwise. ok is false when degradation is disabled (negative budget),
+// in which case ctx is returned unchanged.
+func (s *Server) softContext(ctx context.Context, override float64) (sctx context.Context, cancel context.CancelFunc, ok bool) {
+	budget := s.softBudget
+	if override > 0 {
+		budget = time.Duration(override * float64(time.Second))
+	}
+	if budget <= 0 {
+		return ctx, func() {}, false
+	}
+	sctx, cancel = context.WithTimeout(ctx, budget)
+	return sctx, cancel, true
+}
+
+// observeStages exports an analysis run's per-stage wall time to the
+// /v1/metrics histograms and the debug log.
+func (s *Server) observeStages(endpoint string, tm *analysis.Timings) {
+	stages := tm.StageSeconds()
+	for st, sec := range stages {
+		s.metrics.ObserveStage(st, sec)
+	}
+	s.log.Debug("analysis stages",
+		"endpoint", endpoint,
+		"partition_s", stages["partition"],
+		"aggregate_s", stages["aggregate"],
+		"theta_s", stages["theta"],
+		"propagate_s", stages["propagate"],
+	)
+}
+
+// runAnalysis executes one stateless analysis under the degradation
+// policy: the requested analyzer runs under the soft budget; if the budget
+// expires while the hard deadline is still alive, the always-sound
+// decomposed fallback runs in its place and degraded is reported true. An
+// error for which admission.IsCanceled holds means the hard deadline
+// passed and the request must be shed.
+func (s *Server) runAnalysis(ctx context.Context, endpoint string, analyzer analysis.Analyzer, net *topo.Network, override float64) (res *analysis.Result, degraded bool, err error) {
+	tctx, tm := analysis.WithTimings(ctx)
+	defer s.observeStages(endpoint, tm)
+	sctx, cancel, hasSoft := s.softContext(tctx, override)
+	if !hasSoft || !degradable(analyzer) {
+		cancel()
+		res, err = analysis.AnalyzeWithContext(tctx, analyzer, net)
+		return res, false, err
+	}
+	res, err = analysis.AnalyzeWithContext(sctx, analyzer, net)
+	cancel()
+	if err == nil {
+		return res, false, nil
+	}
+	if !admission.IsCanceled(err) || ctx.Err() != nil {
+		// A real analyzer error, or the hard deadline itself: no fallback.
+		return nil, false, err
+	}
+	s.metrics.DegradedServed()
+	s.log.Warn("analysis degraded to decomposed bound",
+		"endpoint", endpoint, "analyzer", analyzer.Name())
+	res, err = analysis.AnalyzeWithContext(tctx, fallbackAnalyzer, net)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// runAdmission executes one admission test/commit under the same
+// degradation policy as runAnalysis. Degrading an admission is sound in
+// the conservative direction: the decomposed bound dominates the
+// integrated bound, so a degraded decision may reject a candidate the
+// integrated analysis would have admitted but never the reverse.
+func (s *Server) runAdmission(ctx context.Context, endpoint string, dryRun bool, cand topo.Connection, override float64) (d admission.Decision, degraded bool, err error) {
+	tctx, tm := analysis.WithTimings(ctx)
+	defer s.observeStages(endpoint, tm)
+	run := func(runCtx context.Context) (admission.Decision, error) {
+		if dryRun {
+			return s.state.TestContext(runCtx, cand)
+		}
+		return s.state.AdmitContext(runCtx, cand)
+	}
+	sctx, cancel, hasSoft := s.softContext(tctx, override)
+	if !hasSoft || !degradable(s.state.Engine().Analyzer()) {
+		cancel()
+		d, err = run(tctx)
+		return d, false, err
+	}
+	d, err = run(sctx)
+	cancel()
+	if err == nil || !admission.IsCanceled(err) || ctx.Err() != nil {
+		return d, false, err
+	}
+	s.metrics.DegradedServed()
+	s.log.Warn("admission degraded to decomposed bound",
+		"endpoint", endpoint, "connection", cand.Name, "dry_run", dryRun)
+	if dryRun {
+		d, err = s.state.TestWith(tctx, fallbackAnalyzer, cand)
+	} else {
+		d, err = s.state.AdmitWith(tctx, fallbackAnalyzer, cand)
+	}
+	if err != nil {
+		return d, false, err
+	}
+	return d, true, nil
+}
+
 // Bound marshals a delay bound, rendering the unbounded (+Inf) and
 // undefined (NaN) cases as JSON null, which plain JSON numbers cannot
 // represent.
@@ -304,6 +492,9 @@ type AdmitRequest struct {
 	Connection netspec.ConnectionSpec `json:"connection"`
 	// DryRun runs the admission test without committing the connection.
 	DryRun bool `json:"dry_run,omitempty"`
+	// TimeoutSeconds overrides the server's soft analysis budget for this
+	// request; zero keeps the server default, negative is rejected.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // AdmitResponse reports an admission decision. Code carries the stable
@@ -317,6 +508,11 @@ type AdmitResponse struct {
 	Violations []ViolationSpec `json:"violations,omitempty"`
 	Bounds     []Bound         `json:"bounds,omitempty"`
 	Count      int             `json:"count"`
+	// Degraded marks a decision made against the decomposed fallback bound
+	// after the requested analysis exceeded its soft budget; BoundSource
+	// names the analysis that produced the bounds.
+	Degraded    bool   `json:"degraded,omitempty"`
+	BoundSource string `json:"bound_source,omitempty"`
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
@@ -334,20 +530,29 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
 		return
 	}
-	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded")
+	if req.TimeoutSeconds < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "timeout_seconds must be non-negative")
 		return
 	}
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		s.shed(w, "request deadline exceeded")
+		return
+	}
+	if !s.acquireSlot(ctx) {
+		s.shed(w, "no analysis slot free before the request deadline")
+		return
+	}
+	defer s.releaseSlot()
 	// The admission test analyzes an immutable snapshot outside any lock;
 	// Admit commits with a version check and retries on conflict, so a
 	// timed-out client still never leaves the fabric in an unknown state.
-	var d admission.Decision
-	if req.DryRun {
-		d, err = s.state.Test(cand)
-	} else {
-		d, err = s.state.Admit(cand)
-	}
+	d, degraded, err := s.runAdmission(ctx, "POST /v1/connections", req.DryRun, cand, req.TimeoutSeconds)
 	if err != nil {
+		if admission.IsCanceled(err) {
+			s.shed(w, "admission analysis did not finish before the request deadline")
+			return
+		}
 		code := d.Code
 		if code == "" {
 			code = CodeInvalidSpec
@@ -355,7 +560,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, AdmitResponse{
+	resp := AdmitResponse{
 		Admitted:   d.Admitted,
 		DryRun:     req.DryRun,
 		Code:       d.Code,
@@ -363,7 +568,12 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		Violations: toViolations(d.Violations),
 		Bounds:     toBounds(d.Bounds),
 		Count:      s.state.Count(),
-	})
+		Degraded:   degraded,
+	}
+	if degraded {
+		resp.BoundSource = fallbackAnalyzer.Name()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // BatchAdmitRequest is the body of POST /v1/admit/batch: candidates are
@@ -374,6 +584,9 @@ type BatchAdmitRequest struct {
 	// DryRun tests every candidate without committing any of them; each
 	// candidate is then judged against the current admitted set alone.
 	DryRun bool `json:"dry_run,omitempty"`
+	// TimeoutSeconds overrides the server's soft analysis budget for each
+	// candidate; zero keeps the server default, negative is rejected.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // BatchAdmitItem is one per-candidate outcome inside a batch response.
@@ -386,6 +599,9 @@ type BatchAdmitItem struct {
 	// MaxBound is the largest per-connection bound of the item's trial
 	// analysis; null when unbounded or when the candidate never analyzed.
 	MaxBound Bound `json:"max_bound"`
+	// Degraded marks a decision made against the decomposed fallback
+	// bound after the candidate's analysis exceeded its soft budget.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchAdmitResponse reports the whole batch: per-candidate outcomes in
@@ -423,18 +639,28 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		cands[i] = cand
 	}
-	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded")
+	if req.TimeoutSeconds < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "timeout_seconds must be non-negative")
 		return
 	}
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		s.shed(w, "request deadline exceeded")
+		return
+	}
+	if !s.acquireSlot(ctx) {
+		s.shed(w, "no analysis slot free before the request deadline")
+		return
+	}
+	defer s.releaseSlot()
 	resp := BatchAdmitResponse{DryRun: req.DryRun, Results: make([]BatchAdmitItem, 0, len(cands))}
 	for _, cand := range cands {
-		var d admission.Decision
-		var err error
-		if req.DryRun {
-			d, err = s.state.Test(cand)
-		} else {
-			d, err = s.state.Admit(cand)
+		d, degraded, err := s.runAdmission(ctx, "POST /v1/admit/batch", req.DryRun, cand, req.TimeoutSeconds)
+		if err != nil && admission.IsCanceled(err) {
+			// The hard deadline passed mid-batch; nothing has been written
+			// yet, so the whole request sheds (committed prefixes stay).
+			s.shed(w, fmt.Sprintf("batch deadline exceeded at connection %q", cand.Name))
+			return
 		}
 		item := BatchAdmitItem{
 			Connection: cand.Name,
@@ -443,6 +669,7 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 			Reason:     d.Reason,
 			Violations: toViolations(d.Violations),
 			MaxBound:   Bound(d.MaxBound()),
+			Degraded:   degraded,
 		}
 		if err != nil {
 			// A per-candidate spec error (e.g. no deadline) rejects that
@@ -509,6 +736,9 @@ type AnalyzeRequest struct {
 	Analyzer string `json:"analyzer,omitempty"`
 	// Network is the full netspec document to analyze.
 	Network netspec.Spec `json:"network"`
+	// TimeoutSeconds overrides the server's soft analysis budget for this
+	// request; zero keeps the server default, negative is rejected.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // AnalyzeResponse reports per-connection delay bounds and per-server
@@ -520,6 +750,11 @@ type AnalyzeResponse struct {
 	Bounds    []Bound `json:"bounds"`
 	Backlogs  []Bound `json:"backlogs,omitempty"`
 	MaxBound  Bound   `json:"max_bound"`
+	// Degraded marks bounds produced by the decomposed fallback after the
+	// requested analyzer exceeded its soft budget; BoundSource names the
+	// analysis that produced them.
+	Degraded    bool   `json:"degraded,omitempty"`
+	BoundSource string `json:"bound_source,omitempty"`
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -531,7 +766,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = "integrated"
 	}
-	analyzer, err := PickAnalyzer(name)
+	if req.TimeoutSeconds < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "timeout_seconds must be non-negative")
+		return
+	}
+	analyzer, err := s.pick(name)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeUnknownAnalyzer, err.Error())
 		return
@@ -548,50 +787,55 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	key := analyzer.Name() + ":" + digest
 	if res, ok := s.cache.Get(key); ok {
-		writeAnalyzeResponse(w, res, digest, true)
+		writeAnalyzeResponse(w, res, digest, true, false)
 		return
 	}
-	if err := r.Context().Err(); err != nil {
-		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "request deadline exceeded")
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		s.shed(w, "request deadline exceeded")
 		return
 	}
-	// The analysis itself is stateless and may be slow on large networks,
-	// so run it off the handler goroutine and race it against the request
-	// deadline. A result that loses the race is still cached for the
-	// client's retry.
-	type outcome struct {
-		res *analysis.Result
-		err error
+	if !s.acquireSlot(ctx) {
+		s.shed(w, "no analysis slot free before the request deadline")
+		return
 	}
-	done := make(chan outcome, 1)
-	go func() {
-		res, err := analyzer.Analyze(net)
-		if err == nil {
-			s.cache.Put(key, res)
-		}
-		done <- outcome{res, err}
-	}()
-	select {
-	case <-r.Context().Done():
-		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "analysis did not finish before the request deadline")
-	case out := <-done:
-		if out.err != nil {
-			writeError(w, http.StatusUnprocessableEntity, CodeInvalidSpec, out.err.Error())
+	defer s.releaseSlot()
+	// The analysis runs on the handler goroutine under the request's hard
+	// deadline: a shed request cancels its analysis cooperatively instead
+	// of abandoning a goroutine to finish unobserved.
+	res, degradedRes, err := s.runAnalysis(ctx, "POST /v1/analyze", analyzer, net, req.TimeoutSeconds)
+	if err != nil {
+		if admission.IsCanceled(err) {
+			s.shed(w, "analysis did not finish before the request deadline")
 			return
 		}
-		writeAnalyzeResponse(w, out.res, digest, false)
+		writeError(w, http.StatusUnprocessableEntity, CodeInvalidSpec, err.Error())
+		return
 	}
+	if degradedRes {
+		// A degraded result is a valid decomposed analysis: cache it under
+		// the fallback's own key, never under the requested analyzer's.
+		s.cache.Put(fallbackAnalyzer.Name()+":"+digest, res)
+	} else {
+		s.cache.Put(key, res)
+	}
+	writeAnalyzeResponse(w, res, digest, false, degradedRes)
 }
 
-func writeAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, digest string, cached bool) {
-	writeJSON(w, http.StatusOK, AnalyzeResponse{
+func writeAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, digest string, cached, degraded bool) {
+	resp := AnalyzeResponse{
 		Algorithm: res.Algorithm,
 		Digest:    digest,
 		Cached:    cached,
 		Bounds:    toBounds(res.Bounds),
 		Backlogs:  toBounds(res.Backlogs),
 		MaxBound:  Bound(res.MaxBound()),
-	})
+		Degraded:  degraded,
+	}
+	if degraded {
+		resp.BoundSource = res.Algorithm
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -276,15 +276,15 @@ func TestOversizedBody(t *testing.T) {
 func TestRequestTimeout(t *testing.T) {
 	srv := newTestServer(t, func(c *Config) { c.RequestTimeout = time.Nanosecond })
 	// The deadline expires before the handler reaches the analysis, so
-	// both stateful and stateless endpoints must answer 504 without
+	// both stateful and stateless endpoints must shed with 503 without
 	// touching state.
 	w := do(t, srv, "POST", "/v1/analyze", analyzeBody)
-	if w.Code != http.StatusGatewayTimeout {
-		t.Fatalf("analyze timeout: want 504, got %d %s", w.Code, w.Body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("analyze timeout: want 503, got %d %s", w.Code, w.Body)
 	}
 	w = do(t, srv, "POST", "/v1/connections", admitBody)
-	if w.Code != http.StatusGatewayTimeout {
-		t.Fatalf("admit timeout: want 504, got %d %s", w.Code, w.Body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("admit timeout: want 503, got %d %s", w.Code, w.Body)
 	}
 	if srv.State().Count() != 0 {
 		t.Fatalf("timed-out admit mutated state")

@@ -6,6 +6,8 @@
 package service
 
 import (
+	"context"
+
 	"delaycalc/internal/admission"
 	"delaycalc/internal/analysis"
 	"delaycalc/internal/server"
@@ -55,9 +57,35 @@ func (s *State) Test(cand topo.Connection) (admission.Decision, error) {
 	return s.eng.Test(cand)
 }
 
+// TestContext is Test with cooperative cancellation: the analysis observes
+// the context and the call returns its error (check admission.IsCanceled)
+// once it is done.
+func (s *State) TestContext(ctx context.Context, cand topo.Connection) (admission.Decision, error) {
+	return s.eng.TestContext(ctx, cand)
+}
+
+// TestWith runs a full admission test with an explicit analyzer — the
+// degraded path: a timed-out integrated test retried with the always-valid
+// decomposed analyzer.
+func (s *State) TestWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (admission.Decision, error) {
+	return s.eng.TestWith(ctx, analyzer, cand)
+}
+
 // Admit runs the admission test and commits the candidate on success.
 func (s *State) Admit(cand topo.Connection) (admission.Decision, error) {
 	return s.eng.Admit(cand)
+}
+
+// AdmitContext is Admit with cooperative cancellation; a cancelled call
+// commits nothing.
+func (s *State) AdmitContext(ctx context.Context, cand topo.Connection) (admission.Decision, error) {
+	return s.eng.AdmitContext(ctx, cand)
+}
+
+// AdmitWith is Admit on the degraded path: the test runs with the given
+// analyzer and a positive decision commits without a promoted baseline.
+func (s *State) AdmitWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (admission.Decision, error) {
+	return s.eng.AdmitWith(ctx, analyzer, cand)
 }
 
 // Remove releases a previously admitted connection by name.
@@ -84,4 +112,10 @@ func (s *State) Snapshot() (conns []topo.Connection, util []float64, count int) 
 // admission capacity across analyzers.
 func (s *State) FillGreedy(template topo.Connection, limit int) (int, error) {
 	return s.eng.FillGreedy(template, limit)
+}
+
+// FillGreedyContext is FillGreedy with cooperative cancellation between
+// and inside admissions.
+func (s *State) FillGreedyContext(ctx context.Context, template topo.Connection, limit int) (int, error) {
+	return s.eng.FillGreedyContext(ctx, template, limit)
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"delaycalc/internal/topo"
+)
+
+// TestPercentileOneIsMaxDelay is the nearest-rank property test: with
+// sampling on, Percentile(1) must equal MaxDelay exactly for every
+// connection, across a sweep of topologies, loads, and packet sizes —
+// ceil(1*n)-1 is always the last (largest) sorted sample, which the
+// streaming MaxDelay tracked independently.
+func TestPercentileOneIsMaxDelay(t *testing.T) {
+	type tc struct {
+		servers    int
+		load       float64
+		packetSize float64
+	}
+	var cases []tc
+	for _, n := range []int{1, 2, 4} {
+		for _, u := range []float64{0.3, 0.6, 0.9} {
+			for _, ps := range []float64{0.02, 0.05} {
+				cases = append(cases, tc{n, u, ps})
+			}
+		}
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("n%d-u%g-ps%g", c.servers, c.load, c.packetSize)
+		net, err := topo.PaperTandem(c.servers, c.load)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Run(net, Config{PacketSize: c.packetSize, Horizon: 30, KeepSamples: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, st := range res.Stats {
+			if st.Packets == 0 {
+				continue
+			}
+			if p100 := st.Percentile(1); p100 != st.MaxDelay {
+				t.Errorf("%s: conn %d Percentile(1) = %v, MaxDelay = %v", name, i, p100, st.MaxDelay)
+			}
+			// The quantile function is monotone in p.
+			prev := math.Inf(-1)
+			for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+				v := st.Percentile(p)
+				if math.IsNaN(v) {
+					t.Fatalf("%s: conn %d Percentile(%g) NaN with sampling on", name, i, p)
+				}
+				if v < prev {
+					t.Errorf("%s: conn %d Percentile(%g)=%v below Percentile at smaller p %v", name, i, p, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// TestPercentileWithoutSamplingIsNaN pins the documented failure mode the
+// serving experiments must guard against: no KeepSamples, no percentiles.
+func TestPercentileWithoutSamplingIsNaN(t *testing.T) {
+	net, err := topo.PaperTandem(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, Config{PacketSize: 0.05, Horizon: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.Stats {
+		for _, p := range []float64{0.5, 1} {
+			if !math.IsNaN(st.Percentile(p)) {
+				t.Errorf("conn %d Percentile(%g) = %v without sampling, want NaN", i, p, st.Percentile(p))
+			}
+		}
+	}
+	// Out-of-domain p is NaN even with samples present.
+	res2, err := Run(net, Config{PacketSize: 0.05, Horizon: 10, KeepSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{-0.1, 0, 1.1} {
+		if !math.IsNaN(res2.Stats[0].Percentile(p)) {
+			t.Errorf("Percentile(%g) = %v, want NaN", p, res2.Stats[0].Percentile(p))
+		}
+	}
+}
