@@ -1,10 +1,26 @@
-# delaycalc — build/test/reproduce targets.
+# delaycalc — build/test/reproduce targets. Run `make help` for a summary.
 
 GO ?= go
 
-.PHONY: all build test race bench bench-admit bench-curves cover figures fuzz run-delayd clean
+.PHONY: all build test race bench bench-admit bench-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
 
 all: build test
+
+help:
+	@echo "delaycalc targets:"
+	@echo "  build          compile and vet everything"
+	@echo "  test           run the full test suite"
+	@echo "  race           test suite under the race detector"
+	@echo "  bench          all benchmarks"
+	@echo "  bench-admit    full vs incremental admission benchmark"
+	@echo "  bench-curves   curve-engine benchmarks -> BENCH_curves.json"
+	@echo "  cover          test suite with coverage"
+	@echo "  figures        regenerate paper figures and CSVs"
+	@echo "  falsify        adversarial bound falsification, full matrix -> FALSIFY_report.json"
+	@echo "  falsify-smoke  CI-budget falsification over 4 scenarios (fails on contradiction)"
+	@echo "  fuzz           fuzz min-plus algebra, netspec decode, incremental admission"
+	@echo "  run-delayd     start the admission daemon on the paper tandem"
+	@echo "  clean          remove generated artifacts"
 
 build:
 	$(GO) build ./...
@@ -35,6 +51,20 @@ bench-curves:
 cover:
 	$(GO) test -cover ./...
 
+# Adversarial bound falsification (docs/FALSIFY.md): hill-climbing search
+# for conforming traffic that violates shipped bounds, full scenario
+# matrix; exits non-zero and prints a replayable contradiction if any
+# bound is crossed.
+falsify:
+	$(GO) run ./cmd/falsify -seed 1 -out FALSIFY_report.json
+
+# Deterministic CI-budget falsification smoke: four scenarios, small
+# iteration budget, both shipped FIFO analyzers; any contradiction fails
+# the build.
+falsify-smoke:
+	$(GO) run ./cmd/falsify -seed 1 -iters 12 -restarts 2 \
+		-scenarios tandem2-u80,parkinglot4,star4,line4 -analyzers decomposed,integrated
+
 # Regenerate every paper figure and extension experiment (CSV into results/).
 figures:
 	$(GO) run ./cmd/figures -csv results | tee results/figures.txt
@@ -50,4 +80,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzIncrementalEquivalence -fuzztime=30s ./internal/admission
 
 clean:
-	rm -rf results BENCH_curves.json
+	rm -rf results FALSIFY_report.json

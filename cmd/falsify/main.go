@@ -1,0 +1,207 @@
+// Command falsify runs the adversarial bound-falsification harness: it
+// perturbs token-bucket-compliant traffic against every scenario of the
+// standing matrix, trying to push simulated delays past the analytic
+// bounds of the named analyzers. See docs/FALSIFY.md.
+//
+// Search mode (default):
+//
+//	falsify -seed 1 -iters 40 -restarts 3 [-scenarios tandem,star3]
+//	        [-analyzers decomposed,integrated|all] [-budget 30s]
+//	        [-packets 0.05,0.02] [-parallel N] [-out report.json] [-json]
+//
+// The process exits 0 when every bound survives, 2 when any bound is
+// contradicted (the report then carries the full reproduction recipe).
+// With a fixed -seed and iteration budget the report is byte-for-byte
+// deterministic, whatever -parallel is.
+//
+// Replay mode — verify the contradictions of a previous report:
+//
+//	falsify -replay report.json
+//
+// exits 0 when every recorded contradiction reproduces exactly (same
+// observed delay, still above the bound), 1 otherwise.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"delaycalc/internal/falsify"
+	"delaycalc/internal/service"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "search seed; fixes the whole report")
+		iters     = flag.Int("iters", 40, "hill-climbing steps per restart")
+		restarts  = flag.Int("restarts", 3, "searches per scenario/analyzer pair (first is the greedy baseline)")
+		budget    = flag.Duration("budget", 0, "wall-clock budget for the whole run; 0 means unbudgeted")
+		parallel  = flag.Int("parallel", 0, "concurrent scenario/analyzer pairs; 0 means GOMAXPROCS")
+		scenarios = flag.String("scenarios", "", "comma-separated scenario name substrings to keep; empty keeps all")
+		analyzers = flag.String("analyzers", "decomposed,integrated", "comma-separated analyzers to attack, or \"all\"")
+		packets   = flag.String("packets", "0.05,0.02", "candidate packet sizes")
+		out       = flag.String("out", "", "write the JSON report here")
+		asJSON    = flag.Bool("json", false, "print the JSON report to stdout instead of the table")
+		replay    = flag.String("replay", "", "replay the contradictions of this report file and exit")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	matrix, err := falsify.DefaultMatrix()
+	if err != nil {
+		fatal(err)
+	}
+	matrix = falsify.FilterMatrix(matrix, *scenarios)
+	if len(matrix) == 0 {
+		fatal(fmt.Errorf("scenario filter %q matched nothing", *scenarios))
+	}
+	targets, err := service.ResolveAnalyzers(*analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	sizes, err := parseSizes(*packets)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+	report, err := falsify.Search(ctx, matrix, targets, falsify.Options{
+		Seed:        *seed,
+		Restarts:    *restarts,
+		Iterations:  *iters,
+		PacketSizes: sizes,
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, report); err != nil {
+			fatal(err)
+		}
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		printTable(report)
+	}
+	if len(report.Contradictions) > 0 {
+		fmt.Fprintf(os.Stderr, "falsify: %d bound(s) CONTRADICTED — replay with: falsify -replay <report>\n",
+			len(report.Contradictions))
+		os.Exit(2)
+	}
+}
+
+// printTable renders the report for humans: loosest bounds first, the
+// contradictions (if any) last and loud.
+func printTable(r *falsify.Report) {
+	fmt.Printf("falsify report — seed %d, %d restarts x %d iterations\n\n", r.Seed, r.Restarts, r.Iterations)
+	fmt.Printf("%-14s %-14s %-8s %10s %10s %10s %7s\n",
+		"scenario", "analyzer", "conn", "bound", "observed", "tightness", "trials")
+	for _, res := range r.Results {
+		if res.Unbounded {
+			fmt.Printf("%-14s %-14s %-8s %10s %10s %10s %7d\n",
+				res.Scenario, res.Analyzer, "-", "-", "-", "skipped", res.Trials)
+			continue
+		}
+		mark := ""
+		if res.Truncated {
+			mark = " (truncated)"
+		}
+		fmt.Printf("%-14s %-14s %-8s %10.4f %10.4f %10.4f %7d%s\n",
+			res.Scenario, res.Analyzer, res.ConnName, res.Bound, res.Observed, res.Tightness, res.Trials, mark)
+	}
+	if len(r.Contradictions) == 0 {
+		fmt.Printf("\nno contradictions: every bound survived (max tightness %.4f)\n", r.MaxTightness())
+		return
+	}
+	for _, c := range r.Contradictions {
+		fmt.Printf("\nCONTRADICTION %s/%s conn %q: observed %.6f > bound %.6f + slack %.6f (seed %d)\n",
+			c.Scenario, c.Analyzer, c.ConnName, c.Observed, c.Bound, c.Slack, c.Seed)
+	}
+}
+
+func runReplay(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var report falsify.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	if len(report.Contradictions) == 0 {
+		fmt.Printf("%s: no contradictions to replay (max tightness %.4f)\n", path, report.MaxTightness())
+		return 0
+	}
+	bad := 0
+	for i, c := range report.Contradictions {
+		out, err := falsify.Replay(&c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "contradiction %d (%s/%s): replay error: %v\n", i, c.Scenario, c.Analyzer, err)
+			bad++
+			continue
+		}
+		status := "REPRODUCED"
+		if !out.Violates || !out.Matches {
+			status = "FAILED TO REPRODUCE"
+			bad++
+		}
+		fmt.Printf("contradiction %d (%s/%s conn %q): observed %.6f recorded %.6f bound %.6f+%.6f — %s\n",
+			i, c.Scenario, c.Analyzer, c.ConnName, out.Observed, c.Observed, c.Bound, c.Slack, status)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func parseSizes(list string) ([]float64, error) {
+	var sizes []float64
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid packet size %q", f)
+		}
+		sizes = append(sizes, v)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no packet sizes given")
+	}
+	return sizes, nil
+}
+
+func writeReport(path string, r *falsify.Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "falsify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Package falsify is the adversarial bound-falsification subsystem: a
+// search layer that actively tries to violate the analytic delay bounds
+// the repository ships. For every (scenario, analyzer) pair it perturbs
+// token-bucket-compliant adversarial traffic — per-source phase offsets,
+// burst placements, pacing, and packet sizes — with greedy hill-climbing
+// from random restarts, drives the packet simulator, and compares the
+// worst observed end-to-end delay against the analyzer's bound.
+//
+// The simulator already disproved the paper's literal greedy-pair bound
+// once (DESIGN.md §4.4): the worst case for a through bit can need cross
+// bursts shifted relative to the busy-period start, exactly the degree of
+// freedom this search explores. Every shipped analyzer must survive it;
+// every future analyzer lands only after it does.
+//
+// Outputs are per-scenario tightness ratios — max observed delay divided
+// by the bound, after subtracting the known L/C packet-quantization slack
+// — collected into a machine-readable Report ranking the loosest bounds,
+// plus a hard Contradiction (full topology spec, exact adversary controls,
+// replay seed) whenever a bound is crossed, so any violation reproduces
+// with one command: falsify -replay report.json.
+package falsify
+
+import (
+	"math"
+	"sort"
+
+	"delaycalc/internal/netspec"
+	"delaycalc/internal/sim"
+)
+
+// TrialParams pins one simulation trial exactly: the packet size and the
+// full per-source adversary controls. Together with the scenario's network
+// spec they make the trial bit-replayable.
+type TrialParams struct {
+	PacketSize float64 `json:"packet_size"`
+	// Horizon is the emission horizon the trial simulated with; replays
+	// reuse it verbatim so the event sequence is bit-identical.
+	Horizon   float64       `json:"horizon"`
+	Adversary sim.Adversary `json:"adversary"`
+}
+
+// Result is the outcome of the search for one (scenario, analyzer) pair.
+type Result struct {
+	Scenario string `json:"scenario"`
+	Analyzer string `json:"analyzer"`
+	// Conn is the connection with the highest tightness ratio; ConnName
+	// is its human-readable name when the topology assigns one.
+	Conn     int    `json:"conn"`
+	ConnName string `json:"conn_name,omitempty"`
+	// Bound is the analytic end-to-end bound of Conn; Observed the worst
+	// simulated delay the search found for it; Slack the packet
+	// quantization allowance (sim.QuantizationSlack at the best trial's
+	// packet size).
+	Bound    float64 `json:"bound"`
+	Observed float64 `json:"observed"`
+	Slack    float64 `json:"slack"`
+	// Tightness is (Observed - Slack) / Bound: 1.0 means the simulator
+	// met the bound exactly, small values mean a loose bound, anything
+	// above 1.0 is a contradiction.
+	Tightness float64 `json:"tightness"`
+	// Unbounded marks pairs whose analyzer returned no finite positive
+	// bound to attack (the scenario is skipped, not failed).
+	Unbounded bool `json:"unbounded,omitempty"`
+	// Trials counts simulator runs spent on this pair.
+	Trials int `json:"trials"`
+	// Truncated is set when the context expired before the full trial
+	// budget ran; the ratios are still valid lower bounds on tightness.
+	Truncated bool `json:"truncated,omitempty"`
+	// Best holds the trial parameters that achieved Observed.
+	Best TrialParams `json:"best"`
+	// PerConn breaks tightness down by connection (only those with a
+	// finite positive bound), each entry the best the adversary managed
+	// for that connection across all trials. The headline fields above
+	// are the maximum of this list; the multi-hop entries are what a
+	// Decomposed-vs-Integrated comparison should read, since 1-hop
+	// cross connections are near-tight under every analyzer.
+	PerConn []ConnTightness `json:"per_conn,omitempty"`
+}
+
+// ConnTightness is one connection's slice of a Result.
+type ConnTightness struct {
+	Conn      int     `json:"conn"`
+	Name      string  `json:"name,omitempty"`
+	Hops      int     `json:"hops"`
+	Bound     float64 `json:"bound"`
+	Observed  float64 `json:"observed"`
+	Slack     float64 `json:"slack"`
+	Tightness float64 `json:"tightness"`
+}
+
+// Contradiction is the hard evidence produced when a simulated delay
+// exceeds an analytic bound beyond quantization slack: everything needed
+// to reproduce the violation with one command.
+type Contradiction struct {
+	Scenario string  `json:"scenario"`
+	Analyzer string  `json:"analyzer"`
+	Conn     int     `json:"conn"`
+	ConnName string  `json:"conn_name,omitempty"`
+	Bound    float64 `json:"bound"`
+	Observed float64 `json:"observed"`
+	Slack    float64 `json:"slack"`
+	// Spec is the full topology, so the replay needs no access to the
+	// scenario matrix that produced it.
+	Spec *netspec.Spec `json:"spec"`
+	// Params is the exact traffic trace recipe (adversary controls and
+	// packet size) of the violating trial.
+	Params TrialParams `json:"params"`
+	// Seed is the search seed the violation was found under.
+	Seed int64 `json:"seed"`
+}
+
+// Report is the machine-readable output of one falsification run. For a
+// fixed seed, scenario matrix, analyzer set, and budget it is
+// byte-for-byte deterministic (results are sorted, no wall-clock state is
+// recorded).
+type Report struct {
+	Seed       int64 `json:"seed"`
+	Restarts   int   `json:"restarts"`
+	Iterations int   `json:"iterations"`
+	// Results holds one entry per (scenario, analyzer) pair, loosest
+	// bound first (ascending tightness), so the top of the report is
+	// where analytic effort is worst spent today.
+	Results []Result `json:"results"`
+	// Contradictions lists every crossed bound; an empty list is the
+	// certificate CI enforces.
+	Contradictions []Contradiction `json:"contradictions,omitempty"`
+}
+
+// MaxTightness returns the largest tightness ratio in the report, the
+// headline "how close did the adversary get" number.
+func (r *Report) MaxTightness() float64 {
+	m := 0.0
+	for _, res := range r.Results {
+		if res.Tightness > m {
+			m = res.Tightness
+		}
+	}
+	return m
+}
+
+// rank orders results loosest-first and contradictions by identity, making
+// the report deterministic regardless of worker scheduling.
+func (r *Report) rank() {
+	sort.SliceStable(r.Results, func(i, j int) bool {
+		a, b := r.Results[i], r.Results[j]
+		if a.Tightness != b.Tightness {
+			return a.Tightness < b.Tightness
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	sort.SliceStable(r.Contradictions, func(i, j int) bool {
+		a, b := r.Contradictions[i], r.Contradictions[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// tightness computes (observed - slack) / bound, clamped at zero so a
+// bound slacker than the whole observation reads as 0, not negative.
+func tightness(observed, slack, bound float64) float64 {
+	if bound <= 0 || math.IsInf(bound, 1) {
+		return 0
+	}
+	t := (observed - slack) / bound
+	if t < 0 {
+		return 0
+	}
+	return t
+}

@@ -45,3 +45,39 @@ func AnalyzerNames() []string {
 	sort.Strings(out)
 	return out
 }
+
+// ResolveAnalyzers maps a comma-separated list of analyzer names to their
+// analyzers, deduplicating while preserving order. The single name "all"
+// expands to every canonical analyzer. It is the registry entry point the
+// falsification harness uses, so newly registered analyzers are attackable
+// by name the moment they land.
+func ResolveAnalyzers(list string) ([]analysis.Analyzer, error) {
+	var names []string
+	if strings.EqualFold(strings.TrimSpace(list), "all") {
+		names = AnalyzerNames()
+	} else {
+		for _, n := range strings.Split(list, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no analyzers named (want a comma-separated subset of %s, or \"all\")",
+			strings.Join(AnalyzerNames(), ", "))
+	}
+	var out []analysis.Analyzer
+	seen := map[string]bool{}
+	for _, n := range names {
+		a, err := PickAnalyzer(n)
+		if err != nil {
+			return nil, err
+		}
+		if seen[a.Name()] {
+			continue
+		}
+		seen[a.Name()] = true
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"delaycalc/internal/topo"
+)
+
+// SourceControl is the deterministic adversary knob set of one source. The
+// zero value reproduces the plain greedy source exactly, so controls can be
+// perturbed one field at a time from the worst-case baseline the analysis
+// is built around.
+type SourceControl struct {
+	// Phase delays the start of all activity: the source is silent on
+	// [0, Phase). The token bucket is full at time zero and stays full
+	// through the silence, so a phased source is still maximally bursty
+	// when it wakes.
+	Phase float64 `json:"phase,omitempty"`
+	// BurstDelay withholds the initial burst for this long after Phase.
+	// While withholding, the source either stays silent or (with Pace)
+	// emits at exactly the token rate, keeping the bucket full either
+	// way; at Phase+BurstDelay it releases the full burst and stays
+	// greedy. Shifting cross bursts relative to the busy-period start is
+	// the degree of freedom that disproved the greedy-pair estimate
+	// (DESIGN.md §4.4).
+	BurstDelay float64 `json:"burst_delay,omitempty"`
+	// Pace emits at the sustained token rate during the BurstDelay
+	// window instead of staying silent, building a backlog background
+	// for the burst to land on.
+	Pace bool `json:"pace,omitempty"`
+}
+
+// Adversary configures deterministic adversarial traffic for a whole run:
+// one SourceControl per connection (indexed like Network.Connections;
+// missing or zero entries fall back to plain greedy). The struct fully
+// determines the generated traffic, so serializing it alongside the
+// network spec makes any simulation trace exactly replayable.
+type Adversary struct {
+	// Seed records the RNG seed the controls were drawn or evolved from.
+	// Run does not consume it — it is carried for provenance so a replay
+	// can verify it reproduces the same controls.
+	Seed int64 `json:"seed"`
+	// Controls holds the per-connection knobs.
+	Controls []SourceControl `json:"controls"`
+}
+
+// RandomAdversary draws one control per connection from a seeded RNG:
+// phases and burst delays uniform in [0, spread), pacing by fair coin.
+// The same (net, seed, spread) triple always yields the same controls.
+func RandomAdversary(net *topo.Network, seed int64, spread float64) *Adversary {
+	rng := rand.New(rand.NewSource(seed))
+	adv := &Adversary{Seed: seed, Controls: make([]SourceControl, len(net.Connections))}
+	for i := range adv.Controls {
+		adv.Controls[i] = SourceControl{
+			Phase:      rng.Float64() * spread,
+			BurstDelay: rng.Float64() * spread,
+			Pace:       rng.Intn(2) == 1,
+		}
+	}
+	return adv
+}
+
+// Control returns the knob set of connection i, defaulting to the zero
+// (plain greedy) control when the adversary is nil or has no entry.
+func (a *Adversary) Control(i int) SourceControl {
+	if a == nil || i >= len(a.Controls) {
+		return SourceControl{}
+	}
+	return a.Controls[i]
+}
+
+// Source builds the adversarial source of connection c under control i.
+func (a *Adversary) Source(c topo.Connection, i int) Source {
+	ctl := a.Control(i)
+	return AdversarialSource{
+		Sigma:      c.Bucket.Sigma,
+		Rho:        c.Bucket.Rho,
+		Access:     c.AccessRate,
+		Phase:      ctl.Phase,
+		BurstDelay: ctl.BurstDelay,
+		Pace:       ctl.Pace,
+	}
+}
+
+// AdversarialSource is a token-bucket-compliant source with a placeable
+// burst: silent on [0, Phase); then silent or pacing at Rho (Pace) on
+// [Phase, Phase+BurstDelay); then it releases the full bucket as fast as
+// the access line allows and stays greedy. With zero Phase and BurstDelay
+// it emits exactly the GreedySource pattern. The bucket starts full and
+// both waiting regimes keep it full, so the source is compliant by
+// construction.
+type AdversarialSource struct {
+	Sigma, Rho float64
+	Access     float64 // access line rate; 0 means unlimited
+	Phase      float64
+	BurstDelay float64
+	Pace       bool
+}
+
+// Times implements Source by inverting the fluid cumulative emission at
+// each packet boundary, exactly like GreedySource. The fluid emission is
+//
+//	E(t) = 0                                     t < Phase
+//	     = p*(t-Phase)                           Phase <= t < B   (p = paced rate, 0 unless Pace)
+//	     = E(B) + min(a*(t-B), Sigma + Rho*(t-B))   t >= B        (B = Phase+BurstDelay)
+//
+// Emitting at (at most) the token rate keeps the fluid bucket full, so the
+// post-burst tail is precisely the greedy emission started at B — with
+// zero Phase and BurstDelay the pattern is bit-identical to GreedySource.
+func (a AdversarialSource) Times(packetSize, horizon float64) []float64 {
+	if packetSize <= 0 {
+		panic("sim: non-positive packet size")
+	}
+	phase := math.Max(0, a.Phase)
+	burstAt := phase + math.Max(0, a.BurstDelay)
+	pacedRate := 0.0
+	if a.Pace && a.Rho > 0 {
+		pacedRate = a.Rho
+		if a.Access > 0 && a.Access < pacedRate {
+			pacedRate = a.Access // the line, not the bucket, is the brake
+		}
+	}
+	paced := pacedRate * (burstAt - phase)
+	tail := GreedySource{Sigma: a.Sigma, Rho: a.Rho, Access: a.Access}
+	var times []float64
+	for k := 1; ; k++ {
+		bits := float64(k) * packetSize
+		var t float64
+		if bits <= paced {
+			t = phase + bits/pacedRate
+		} else {
+			t = burstAt + tail.inverse(bits-paced)
+		}
+		if math.IsInf(t, 1) || t >= horizon {
+			break
+		}
+		times = append(times, t)
+	}
+	return times
+}
+
+// QuantizationSlack returns the delay tolerance a packetized simulation
+// needs on top of a fluid-model bound for one connection: store-and-forward
+// quantization costs up to one packet transmission time per hop, plus one
+// packet time of measurement quantization at entry. Observed delays within
+// bound+slack are consistent with the bound; beyond it they contradict it.
+func QuantizationSlack(net *topo.Network, conn int, packetSize float64) float64 {
+	slack := packetSize // entry quantization
+	for _, s := range net.Connections[conn].Path {
+		slack += packetSize / net.Servers[s].Capacity
+	}
+	return slack
+}

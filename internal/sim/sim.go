@@ -32,6 +32,12 @@ type Config struct {
 	// (indexed like Network.Connections); nil entries and a nil map
 	// default to GreedySource, the worst-case pattern.
 	Sources map[int]Source
+	// Adversary, when set, replaces the default greedy sources with
+	// deterministically controlled adversarial ones (per-source phase
+	// offsets and burst placements); explicit Sources entries still win.
+	// The adversary plus the packet size fully determine the generated
+	// traffic, making runs exactly replayable.
+	Adversary *Adversary
 	// KeepSamples retains every per-packet end-to-end delay so that
 	// ConnStats.Percentile works; costs memory proportional to the
 	// packet count.
@@ -198,6 +204,9 @@ func Run(net *topo.Network, cfg Config) (*Result, error) {
 		var src Source
 		if cfg.Sources != nil {
 			src = cfg.Sources[ci]
+		}
+		if src == nil && cfg.Adversary != nil {
+			src = cfg.Adversary.Source(c, ci)
 		}
 		if src == nil {
 			src = GreedySource{Sigma: c.Bucket.Sigma, Rho: c.Bucket.Rho, Access: c.AccessRate}

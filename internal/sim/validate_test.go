@@ -11,15 +11,10 @@ import (
 	"delaycalc/internal/traffic"
 )
 
-// packetSlack returns the tolerance to allow on top of a fluid bound for a
-// packetized simulation: store-and-forward quantization costs up to one
-// packet transmission time per hop (plus one for the measurement at entry).
+// packetSlack is the tolerance to allow on top of a fluid bound for a
+// packetized simulation; see QuantizationSlack.
 func packetSlack(packetSize float64, net *topo.Network, conn int) float64 {
-	slack := packetSize // entry quantization
-	for _, s := range net.Connections[conn].Path {
-		slack += packetSize / net.Servers[s].Capacity
-	}
-	return slack
+	return QuantizationSlack(net, conn, packetSize)
 }
 
 // assertBoundsHold simulates the network with greedy sources and checks

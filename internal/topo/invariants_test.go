@@ -1,0 +1,215 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/traffic"
+)
+
+// checkInvariants asserts the structural properties every builder output
+// must satisfy: a valid spec, every utilization strictly below 1, an
+// acyclic (feedforward) route graph, in-range server indices, loop-free
+// paths, and unique connection names.
+func checkInvariants(t *testing.T, label string, net *Network) {
+	t.Helper()
+	if err := net.Validate(); err != nil {
+		t.Errorf("%s: Validate: %v", label, err)
+		return
+	}
+	for s, u := range net.Utilization() {
+		if u >= 1 {
+			t.Errorf("%s: server %d utilization %g >= 1", label, s, u)
+		}
+	}
+	if !net.Stable() {
+		t.Errorf("%s: network not stable", label)
+	}
+	if !net.IsFeedforward() {
+		t.Errorf("%s: route graph has a cycle", label)
+	}
+	if _, err := net.TopologicalOrder(); err != nil {
+		t.Errorf("%s: TopologicalOrder: %v", label, err)
+	}
+	names := map[string]bool{}
+	for _, c := range net.Connections {
+		if c.Name != "" {
+			if names[c.Name] {
+				t.Errorf("%s: duplicate connection name %q", label, c.Name)
+			}
+			names[c.Name] = true
+		}
+		if len(c.Path) == 0 {
+			t.Errorf("%s: connection %q has an empty path", label, c.Name)
+		}
+		seen := map[int]bool{}
+		for _, s := range c.Path {
+			if s < 0 || s >= len(net.Servers) {
+				t.Errorf("%s: connection %q references server %d of %d", label, c.Name, s, len(net.Servers))
+			}
+			if seen[s] {
+				t.Errorf("%s: connection %q visits server %d twice", label, c.Name, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestTandemInvariantGrid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		for _, load := range []float64{0.1, 0.5, 0.8, 0.95} {
+			net, err := PaperTandem(n, load)
+			if err != nil {
+				t.Fatalf("PaperTandem(%d, %g): %v", n, load, err)
+			}
+			label := fmt.Sprintf("tandem n=%d load=%g", n, load)
+			checkInvariants(t, label, net)
+			if got, want := len(net.Connections), 2*n+1; got != want {
+				t.Errorf("%s: %d connections, want %d", label, got, want)
+			}
+			// Interior servers carry exactly four connections, so their
+			// utilization is exactly the requested load.
+			for s, u := range net.Utilization() {
+				if s > 0 && s+1 < n && !almost(u, load) {
+					t.Errorf("%s: interior server %d utilization %g, want %g", label, s, u, load)
+				}
+			}
+		}
+	}
+}
+
+func TestParkingLotInvariantGrid(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		for _, rho := range []float64{0.05, 0.2, 0.45} {
+			net, err := ParkingLot(n, 1, rho, 1)
+			if err != nil {
+				t.Fatalf("ParkingLot(%d, rho=%g): %v", n, rho, err)
+			}
+			label := fmt.Sprintf("parkinglot n=%d rho=%g", n, rho)
+			checkInvariants(t, label, net)
+			// Every server carries the main connection plus one cross.
+			for s := range net.Servers {
+				if got := len(net.ConnectionsAt(s)); got != 2 {
+					t.Errorf("%s: server %d carries %d connections, want 2", label, s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSinkTreeInvariantGrid(t *testing.T) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		// Root multiplexes every leaf pair; keep rho small enough that
+		// 2^depth connections stay below unit utilization.
+		rho := 0.9 / float64(int(1)<<depth)
+		net, err := SinkTree(depth, 1, rho, 1)
+		if err != nil {
+			t.Fatalf("SinkTree(%d): %v", depth, err)
+		}
+		label := fmt.Sprintf("sinktree depth=%d", depth)
+		checkInvariants(t, label, net)
+		leaves := 1 << (depth - 1)
+		if got, want := len(net.Connections), 2*leaves; got != want {
+			t.Errorf("%s: %d connections, want %d", label, got, want)
+		}
+		// Every connection ends at the root, which therefore carries all
+		// of them.
+		if got := len(net.ConnectionsAt(0)); got != len(net.Connections) {
+			t.Errorf("%s: root carries %d of %d connections", label, got, len(net.Connections))
+		}
+		for _, c := range net.Connections {
+			if c.Path[len(c.Path)-1] != 0 {
+				t.Errorf("%s: connection %q does not end at the root: %v", label, c.Name, c.Path)
+			}
+			if got, want := len(c.Path), depth; got != want {
+				t.Errorf("%s: connection %q path length %d, want %d", label, c.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomFeedforwardInvariantGrid(t *testing.T) {
+	for _, servers := range []int{1, 3, 6, 12} {
+		for _, conns := range []int{1, 5, 20} {
+			for _, util := range []float64{0.3, 0.7, 0.95} {
+				for seed := int64(1); seed <= 3; seed++ {
+					net, err := RandomFeedforward(servers, conns, util, seed)
+					if err != nil {
+						t.Fatalf("RandomFeedforward(%d, %d, %g, %d): %v", servers, conns, util, seed, err)
+					}
+					label := fmt.Sprintf("randff s=%d c=%d u=%g seed=%d", servers, conns, util, seed)
+					checkInvariants(t, label, net)
+					// The scaling promise: no server exceeds the requested
+					// utilization.
+					for s, u := range net.Utilization() {
+						if u > util+1e-12 {
+							t.Errorf("%s: server %d utilization %g exceeds requested %g", label, s, u, util)
+						}
+					}
+					// Paths must be strictly increasing (the acyclicity
+					// guarantee the builder documents).
+					for _, c := range net.Connections {
+						for i := 1; i < len(c.Path); i++ {
+							if c.Path[i] <= c.Path[i-1] {
+								t.Errorf("%s: path %v not strictly increasing", label, c.Path)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFabricInvariantGrid(t *testing.T) {
+	bucket := traffic.TokenBucket{Sigma: 1, Rho: 0.1}
+	mk := func(name, from, to string) Demand {
+		return Demand{Name: name, From: from, To: to, Bucket: bucket, AccessRate: 1}
+	}
+	for _, n := range []int{2, 3, 4, 6} {
+		f := LineFabric(n, 1, server.FIFO)
+		last := fmt.Sprintf("n%d", n-1)
+		net, err := f.Network([]Demand{
+			mk("fwd", "n0", last),
+			mk("rev", last, "n0"),
+			mk("mid", "n0", "n1"),
+		})
+		if err != nil {
+			t.Fatalf("LineFabric(%d): %v", n, err)
+		}
+		label := fmt.Sprintf("linefabric n=%d", n)
+		checkInvariants(t, label, net)
+		if got, want := len(net.Servers), 2*(n-1); got != want {
+			t.Errorf("%s: %d servers, want %d", label, got, want)
+		}
+	}
+	for _, leaves := range []int{2, 3, 5, 8} {
+		f := StarFabric(leaves, 1, server.FIFO)
+		var demands []Demand
+		for i := 0; i < leaves; i++ {
+			demands = append(demands, mk(
+				fmt.Sprintf("d%d", i),
+				fmt.Sprintf("l%d", i),
+				fmt.Sprintf("l%d", (i+1)%leaves),
+			))
+		}
+		net, err := f.Network(demands)
+		if err != nil {
+			t.Fatalf("StarFabric(%d): %v", leaves, err)
+		}
+		label := fmt.Sprintf("starfabric leaves=%d", leaves)
+		checkInvariants(t, label, net)
+		// Every demand crosses the hub: exactly one uplink and one downlink.
+		for _, c := range net.Connections {
+			if len(c.Path) != 2 {
+				t.Errorf("%s: connection %q path %v, want 2 hops", label, c.Name, c.Path)
+			}
+		}
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -47,6 +47,44 @@ func (tb TokenBucket) String() string {
 	return fmt.Sprintf("(%g, %g)", tb.Sigma, tb.Rho)
 }
 
+// Conforms checks that packet emissions of the given size at the given
+// (non-decreasing) instants stay within the bucket envelope: every window
+// (s, t] must carry at most Sigma + Rho*(t-s) bits. With f(i) = i*L -
+// Rho*t_i (cumulative bits minus refill, f(0) = 0 for the window opening
+// at time zero with a full bucket), the condition is f(j) - min_{i<j} f(i)
+// <= Sigma for every j, which one pass computes exactly. A small relative
+// tolerance absorbs the floating-point equalities exact greedy sources sit
+// on. It returns nil when the trace conforms, or an error naming the first
+// offending packet — the guard falsification uses to reject adversarial
+// traces that overdraw their declared envelope (a delay observed under
+// non-conforming traffic says nothing about the bound).
+func (tb TokenBucket) Conforms(times []float64, packetSize float64) error {
+	if packetSize <= 0 {
+		return fmt.Errorf("traffic: non-positive packet size %g", packetSize)
+	}
+	eps := 1e-9 * (tb.Sigma + tb.Rho + packetSize + 1)
+	prev := 0.0
+	minF := 0.0 // f(0): the window opening at time zero
+	for i, t := range times {
+		if t < prev {
+			return fmt.Errorf("traffic: packet %d emitted at %g before packet %d at %g", i, t, i-1, prev)
+		}
+		if t < 0 {
+			return fmt.Errorf("traffic: packet %d emitted at negative time %g", i, t)
+		}
+		f := float64(i+1)*packetSize - tb.Rho*t
+		if f-minF > tb.Sigma+eps {
+			return fmt.Errorf("traffic: packet %d at t=%g overdraws bucket %v by %g bits",
+				i, t, tb, f-minF-tb.Sigma)
+		}
+		if f < minF {
+			minF = f
+		}
+		prev = t
+	}
+	return nil
+}
+
 // TSpec is the IETF-style traffic specification: a token bucket plus a peak
 // rate and maximum packet size. Its envelope is
 // min{M + P*I, Sigma + Rho*I}.

@@ -112,3 +112,41 @@ func TestShiftedPanics(t *testing.T) {
 	}()
 	Shifted(minplus.Zero(), -1)
 }
+
+func TestTokenBucketConforms(t *testing.T) {
+	tb := TokenBucket{Sigma: 1, Rho: 0.5}
+	// A full-bucket burst followed by rate-spaced packets conforms.
+	conforming := []float64{0, 0, 0, 0, 0.4, 0.8, 1.2}
+	if err := tb.Conforms(conforming, 0.2); err != nil {
+		t.Fatalf("conforming trace rejected: %v", err)
+	}
+	// Six packets at time zero overdraw the one-bit bucket.
+	if err := tb.Conforms([]float64{0, 0, 0, 0, 0, 0}, 0.2); err == nil {
+		t.Fatal("overdrawn burst accepted")
+	}
+	// Refilling too fast: packets at twice the token rate drain out.
+	fast := make([]float64, 20)
+	for i := range fast {
+		fast[i] = float64(i) * 0.1 // rate 2, bucket refills at 0.5
+	}
+	if err := tb.Conforms(fast, 0.2); err == nil {
+		t.Fatal("over-rate trace accepted")
+	}
+	// Non-monotone times are rejected outright.
+	if err := tb.Conforms([]float64{0.5, 0.1}, 0.2); err == nil {
+		t.Fatal("non-monotone trace accepted")
+	}
+	// Invalid packet size.
+	if err := tb.Conforms([]float64{0}, 0); err == nil {
+		t.Fatal("zero packet size accepted")
+	}
+}
+
+func TestTokenBucketConformsSimSources(t *testing.T) {
+	// Every adversarially-placed greedy pattern must pass its own
+	// bucket's conformance check (falsify depends on this guard).
+	tb := TokenBucket{Sigma: 1, Rho: 0.25}
+	if err := tb.Conforms([]float64{0, 0, 0, 0, 1.0, 2.0}, 0.25); err != nil {
+		t.Fatalf("greedy-shaped trace rejected: %v", err)
+	}
+}
