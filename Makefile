@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-admit bench-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
+.PHONY: all build test race bench bench-admit bench-release bench-service cover figures fuzz run-delayd falsify falsify-smoke help clean
 
 all: build test
 
@@ -13,6 +13,8 @@ help:
 	@echo "  race           test suite under the race detector"
 	@echo "  bench          all benchmarks"
 	@echo "  bench-admit    full vs incremental admission benchmark"
+	@echo "  bench-release  incremental vs invalidating release benchmark"
+	@echo "  bench-service  churn load against an in-process delayd -> BENCH_service.json"
 	@echo "  bench-curves   curve-engine benchmarks -> BENCH_curves.json"
 	@echo "  cover          test suite with coverage"
 	@echo "  figures        regenerate paper figures and CSVs"
@@ -39,6 +41,20 @@ bench:
 # tandem (docs/INCREMENTAL.md); the incremental path must be >=5x faster.
 bench-admit:
 	$(GO) test -bench='BenchmarkFullTest|BenchmarkIncrementalTest' -benchmem -run '^$$' ./internal/admission
+
+# Incremental (baseline shrink) vs baseline-invalidating release on the
+# same fabric (docs/INCREMENTAL.md); the incremental path must be >=5x
+# faster (TestReleaseSpeedup enforces the gate in the regular test run).
+bench-release:
+	$(GO) test -bench='BenchmarkRelease' -benchmem -run '^$$' ./internal/admission
+
+# Service-level churn benchmark (docs/SERVICE.md): a 10s closed-loop
+# admit/release/batch mix against an in-process delayd. Emits
+# BENCH_service.json (committed per PR) and fails when the release path's
+# p99 drifts past 2x the admit path's p99.
+bench-service:
+	$(GO) run ./cmd/delayload -self 8 -duration 10s -concurrency 4 -mix 6:3:1 \
+		-seed 1 -out BENCH_service.json -gate-release-factor 2
 
 # Curve-engine benchmarks (docs/PERFORMANCE.md): k-way aggregation vs the
 # pairwise fold, gated convolution, and the end-to-end integrated analysis

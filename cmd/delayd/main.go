@@ -15,9 +15,11 @@
 // header):
 //
 //	POST   /v1/connections        test-and-admit a connection (dry_run supported)
-//	POST   /v1/admit/batch        test-and-admit a whole list of connections in order
-//	GET    /v1/connections        list the admitted set and per-server utilization
-//	DELETE /v1/connections/{name} release an admitted connection
+//	POST   /v1/batch              run an ordered mix of admit and release operations
+//	POST   /v1/admit/batch        deprecated admit-only batch (successor: /v1/batch)
+//	GET    /v1/connections        list the admitted set (limit/cursor paging, server= filter)
+//	DELETE /v1/connections/{name} release an admitted connection (reports the release mode)
+//	GET    /v1/stats              admission engine counters as stable JSON
 //	POST   /v1/analyze            run any analyzer over a posted netspec (cached)
 //	GET    /v1/metrics            counters, latency histograms, cache/fabric/engine gauges
 //	GET    /v1/healthz            liveness probe
@@ -127,6 +129,12 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 			}
 			logger.Info("pre-admitted", "connection", conn.Name)
 		}
+	}
+	// Warm the analysis baseline before serving so the first admission test
+	// (and the first release) runs incrementally instead of paying the full
+	// analysis inline.
+	if err := state.WarmBaseline(); err != nil {
+		return fmt.Errorf("warming analysis baseline: %w", err)
 	}
 
 	api, err := service.NewServer(service.Config{

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	a, r, b, err := parseMix("6:3:1")
+	if err != nil || a != 6 || r != 3 || b != 1 {
+		t.Fatalf("6:3:1 -> %d %d %d %v", a, r, b, err)
+	}
+	for _, bad := range []string{"", "1:2", "1:2:3:4", "-1:2:3", "x:2:3", "0:0:0"} {
+		if _, _, _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("p%v = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %g", got)
+	}
+}
+
+// TestRunInProcess drives a short closed loop against the self-started
+// daemon and checks the report lands on disk with the committed schema.
+func TestRunInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	cfg := &config{
+		self:        4,
+		duration:    500 * time.Millisecond,
+		concurrency: 2,
+		mix:         "6:3:1",
+		seed:        1,
+		rho:         0.002,
+		deadline:    100,
+		out:         out,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.TotalOps == 0 || rep.Throughput <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	admit, ok := rep.Ops["admit"]
+	if !ok || admit.Count == 0 || admit.P99Ms <= 0 {
+		t.Fatalf("no admit samples: %+v", rep.Ops)
+	}
+	if admit.Errors != 0 {
+		t.Fatalf("admit errors: %+v", admit)
+	}
+	if len(rep.EngineStats) == 0 {
+		t.Fatal("report is missing the daemon's /v1/stats document")
+	}
+	if !strings.Contains(buf.String(), "report written") {
+		t.Fatalf("missing summary output:\n%s", buf.String())
+	}
+}
+
+// TestRunValidation covers the argument errors.
+func TestRunValidation(t *testing.T) {
+	base := config{self: 4, duration: time.Second, concurrency: 1, mix: "1:1:1"}
+	cases := []func(*config){
+		func(c *config) { c.mix = "nope" },
+		func(c *config) { c.concurrency = 0 },
+		func(c *config) { c.duration = 0 },
+		func(c *config) { c.self = 0 },
+		func(c *config) { c.target = "http://127.0.0.1:1"; c.servers = "" },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := run(&cfg, &bytes.Buffer{}); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}

@@ -146,6 +146,114 @@ func BenchmarkAdmission(b *testing.B) {
 	b.Run("IncrementalTest", func(b *testing.B) { runIncrementalTest(b, net, cand) })
 }
 
+// churnEngine returns a warm engine holding the benchmark's admitted set
+// plus the candidate, ready for release/re-admit cycles. invalidating
+// configures the pre-tentpole behavior: every release drops the baseline
+// (no shrink, no background re-promotion), so the following admission pays
+// a full re-analysis to rebuild it.
+func churnEngine(tb testing.TB, net *topo.Network, cand topo.Connection, invalidating bool) *Engine {
+	tb.Helper()
+	eng := warmEngine(tb, net, cand)
+	if invalidating {
+		eng.SetCompactionThreshold(-1)
+		eng.SetBackgroundPromotion(false)
+	}
+	d, err := eng.Admit(cand)
+	if err != nil || !d.Admitted {
+		tb.Fatalf("benchmark candidate not admitted: %+v %v", d, err)
+	}
+	return eng
+}
+
+// releaseAndWarm is one measured removal: release the candidate and pay
+// whatever it takes to leave the engine ready for the next incremental
+// admission. An incremental release promotes the shrunken baseline inline,
+// so the warm-up is free; a baseline-invalidating release forces a full
+// re-analysis here — the cost the tentpole removes from the churn path.
+// The subsequent re-admission costs one extend in both worlds and is
+// restored outside the timer by the callers.
+func releaseAndWarm(tb testing.TB, eng *Engine, cand topo.Connection) {
+	tb.Helper()
+	if _, ok := eng.Release(cand.Name); !ok {
+		tb.Fatalf("release %q failed", cand.Name)
+	}
+	if err := eng.WarmBaseline(); err != nil {
+		tb.Fatalf("warm baseline: %v", err)
+	}
+}
+
+// readmit restores the benchmark state after a measured release.
+func readmit(tb testing.TB, eng *Engine, cand topo.Connection) {
+	tb.Helper()
+	d, err := eng.Admit(cand)
+	if err != nil || !d.Admitted {
+		tb.Fatalf("re-admit failed: %+v %v", d, err)
+	}
+}
+
+// BenchmarkRelease measures one removal on the 200-connection, 32-switch
+// tandem: Incremental shrinks the baseline in place (scoped unit-trace
+// replay), Invalidating (the pre-tentpole behavior) drops it and pays the
+// full re-analysis the next admission would otherwise absorb. The
+// acceptance bar is Incremental >= 5x faster, enforced by
+// TestReleaseSpeedup.
+func BenchmarkRelease(b *testing.B) {
+	net, cand := benchNetwork(b)
+	run := func(b *testing.B, invalidating bool) {
+		eng := churnEngine(b, net, cand, invalidating)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			releaseAndWarm(b, eng, cand)
+			b.StopTimer()
+			readmit(b, eng, cand)
+			b.StartTimer()
+		}
+	}
+	b.Run("Incremental", func(b *testing.B) { run(b, false) })
+	b.Run("Invalidating", func(b *testing.B) { run(b, true) })
+}
+
+// TestReleaseSpeedup enforces the release acceptance bar in the regular
+// test run: on the 200-connection benchmark fabric the incremental
+// removal must be at least 5x faster than the baseline-invalidating
+// removal. Wall-clock minima over a few rounds keep scheduler noise out
+// of the ratio.
+func TestReleaseSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	net, cand := benchNetwork(t)
+	incr := churnEngine(t, net, cand, false)
+	inval := churnEngine(t, net, cand, true)
+
+	minDur := func(eng *Engine) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			releaseAndWarm(t, eng, cand)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			readmit(t, eng, cand)
+		}
+		return best
+	}
+	full := minDur(inval)
+	fast := minDur(incr)
+	ratio := float64(full) / float64(fast)
+	t.Logf("invalidating %v, incremental %v, speedup %.1fx", full, fast, ratio)
+	if ratio < 5 {
+		t.Fatalf("release speedup %.1fx below the 5x acceptance bar (invalidating %v, incremental %v)", ratio, full, fast)
+	}
+	st := incr.Stats()
+	if st.IncrementalReleases == 0 {
+		t.Fatalf("incremental engine never took the shrink path: %+v", st)
+	}
+	if st := inval.Stats(); st.IncrementalReleases != 0 {
+		t.Fatalf("invalidating engine took the shrink path: %+v", st)
+	}
+}
+
 // TestIncrementalSpeedup enforces the acceptance bar in the regular test
 // run: on the 200-connection benchmark fabric the incremental test must be
 // at least 5x faster than the full re-analysis. Wall-clock minima over a

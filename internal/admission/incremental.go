@@ -87,11 +87,28 @@ func AffectedSet(nServers int, admitted []topo.Connection, cand topo.Connection)
 // affectedBuckets are the upper bounds of the affected-set size histogram.
 var affectedBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
+// DefaultCompactionThreshold is the affected-set fraction above which a
+// release stops shrinking the baseline in place and falls back to epoch
+// compaction: when more than this fraction of the survivors must be
+// re-analyzed anyway, the scoped replay approaches the cost of a full
+// rebuild, so the rebuild moves off the request path instead.
+const DefaultCompactionThreshold = 0.5
+
 // Stats is a point-in-time copy of the engine's counters.
 type Stats struct {
 	// IncrementalTests and FullTests count admission analyses by path.
 	IncrementalTests uint64
 	FullTests        uint64
+	// IncrementalReleases counts removals that shrank the baseline in
+	// place (scoped unit-trace replay); CompactedReleases counts removals
+	// that fell back to epoch compaction (baseline dropped, re-promoted in
+	// the background).
+	IncrementalReleases uint64
+	CompactedReleases   uint64
+	// BaselineEpoch counts baseline materializations: promotions on admit,
+	// shrinks on release, and lazy or background rebuilds. It is the
+	// freshness stamp compaction re-promotion checks against.
+	BaselineEpoch uint64
 	// CommitConflicts counts Admit retries forced by a concurrent commit.
 	CommitConflicts uint64
 	// AffectedBuckets holds, per entry of AffectedBucketBounds, how many
@@ -111,17 +128,25 @@ func AffectedBucketBounds() []float64 {
 // All reads and tests run against immutable snapshots; mutations swap the
 // snapshot pointer under a short lock that never covers an analysis.
 type Engine struct {
-	servers   []server.Server
-	analyzer  analysis.Analyzer
-	inc       analysis.Incremental // nil when unsupported or force-full
-	mu        sync.Mutex           // serializes snapshot swaps only
-	snap      atomic.Pointer[Snapshot]
-	incTests  atomic.Uint64
-	fullTests atomic.Uint64
-	conflicts atomic.Uint64
-	affBucket []atomic.Uint64
-	affCount  atomic.Uint64
-	affSum    atomic.Uint64
+	servers  []server.Server
+	analyzer analysis.Analyzer
+	inc      analysis.Incremental // nil when unsupported or force-full
+	// compactFrac is the affected-set fraction above which Release stops
+	// shrinking and compacts; prewarm rebuilds compacted baselines in the
+	// background. Both are startup configuration, like ForceFull.
+	compactFrac float64
+	prewarm     bool
+	mu          sync.Mutex // serializes snapshot swaps only
+	snap        atomic.Pointer[Snapshot]
+	incTests    atomic.Uint64
+	fullTests   atomic.Uint64
+	incRels     atomic.Uint64
+	compactRels atomic.Uint64
+	epoch       atomic.Uint64
+	conflicts   atomic.Uint64
+	affBucket   []atomic.Uint64
+	affCount    atomic.Uint64
+	affSum      atomic.Uint64
 }
 
 // NewEngine builds an engine over the given fabric. The analyzer's
@@ -142,9 +167,11 @@ func NewEngine(servers []server.Server, analyzer analysis.Analyzer) (*Engine, er
 	cp := make([]server.Server, len(servers))
 	copy(cp, servers)
 	e := &Engine{
-		servers:   cp,
-		analyzer:  analyzer,
-		affBucket: make([]atomic.Uint64, len(affectedBuckets)+1),
+		servers:     cp,
+		analyzer:    analyzer,
+		compactFrac: DefaultCompactionThreshold,
+		prewarm:     true,
+		affBucket:   make([]atomic.Uint64, len(affectedBuckets)+1),
 	}
 	if inc, ok := analyzer.(analysis.Incremental); ok {
 		e.inc = inc
@@ -177,15 +204,30 @@ func (e *Engine) Servers() []server.Server {
 	return cp
 }
 
+// SetCompactionThreshold sets the affected-set fraction above which a
+// release compacts instead of shrinking (see DefaultCompactionThreshold).
+// Negative disables incremental release entirely; >= 1 always shrinks.
+// Call it before serving traffic, like ForceFull.
+func (e *Engine) SetCompactionThreshold(frac float64) { e.compactFrac = frac }
+
+// SetBackgroundPromotion toggles the background baseline rebuild after a
+// compacting release. On by default; benchmarks of the invalidating path
+// turn it off so the rebuild cost lands on the measured request instead of
+// a racing goroutine. Call it before serving traffic, like ForceFull.
+func (e *Engine) SetBackgroundPromotion(on bool) { e.prewarm = on }
+
 // Stats copies the engine's counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		IncrementalTests: e.incTests.Load(),
-		FullTests:        e.fullTests.Load(),
-		CommitConflicts:  e.conflicts.Load(),
-		AffectedBuckets:  make([]uint64, len(e.affBucket)),
-		AffectedCount:    e.affCount.Load(),
-		AffectedSum:      e.affSum.Load(),
+		IncrementalTests:    e.incTests.Load(),
+		FullTests:           e.fullTests.Load(),
+		IncrementalReleases: e.incRels.Load(),
+		CompactedReleases:   e.compactRels.Load(),
+		BaselineEpoch:       e.epoch.Load(),
+		CommitConflicts:     e.conflicts.Load(),
+		AffectedBuckets:     make([]uint64, len(e.affBucket)),
+		AffectedCount:       e.affCount.Load(),
+		AffectedSum:         e.affSum.Load(),
 	}
 	for i := range e.affBucket {
 		st.AffectedBuckets[i] = e.affBucket[i].Load()
@@ -212,11 +254,14 @@ type Snapshot struct {
 	version  uint64
 	admitted []topo.Connection
 	// promoted is a baseline handed over by the commit that created this
-	// snapshot; baseOnce/base/baseErr lazily build one otherwise.
-	promoted *analysis.Baseline
-	baseOnce sync.Once
-	base     *analysis.Baseline
-	baseErr  error
+	// snapshot; baseOnce/base/baseErr lazily build one otherwise, with
+	// baseReady flipping once a lazy build has succeeded so release can
+	// peek without joining an in-flight build.
+	promoted  *analysis.Baseline
+	baseOnce  sync.Once
+	base      *analysis.Baseline
+	baseErr   error
+	baseReady atomic.Bool
 }
 
 // Snapshot returns the current version of the admitted set.
@@ -254,8 +299,26 @@ func (s *Snapshot) baseline() (*analysis.Baseline, error) {
 	}
 	s.baseOnce.Do(func() {
 		s.base, s.baseErr = s.eng.inc.NewBaseline(s.network())
+		if s.baseErr == nil {
+			s.eng.epoch.Add(1)
+			s.baseReady.Store(true)
+		}
 	})
 	return s.base, s.baseErr
+}
+
+// cachedBaseline returns the snapshot's baseline only if one is already
+// materialized (promoted by a commit or completed by a lazy build). It
+// never builds one: the release path must not pay a full analysis just to
+// shrink it.
+func (s *Snapshot) cachedBaseline() *analysis.Baseline {
+	if s.promoted != nil {
+		return s.promoted
+	}
+	if s.baseReady.Load() {
+		return s.base
+	}
+	return nil
 }
 
 // Test checks whether the candidate could be admitted into this snapshot.
@@ -420,27 +483,127 @@ func (e *Engine) commit(snap *Snapshot, cand topo.Connection, ext *analysis.Exte
 	}
 	if ext != nil {
 		next.promoted = ext.Promote()
+		e.epoch.Add(1)
 	}
 	e.snap.Store(next)
 	return true
 }
 
-// Remove releases an admitted connection by name. The next snapshot has no
-// baseline (indices shifted), so the next incremental test rebuilds one.
-func (e *Engine) Remove(name string) bool {
+// ReleaseInfo describes how a release was performed.
+type ReleaseInfo struct {
+	// Incremental is true when the baseline was shrunk in place (scoped
+	// unit-trace replay), false when the release compacted: the baseline
+	// was dropped and, with background promotion on, is being rebuilt off
+	// the request path.
+	Incremental bool
+	// Affected is the number of surviving connections inside the removed
+	// connection's interference closure (-1 when no baseline was available
+	// to scope against).
+	Affected int
+}
+
+// Release removes an admitted connection by name and reports how. Like
+// Admit, it runs optimistically: the shrink analyzes a snapshot outside
+// any lock and the commit retries on conflict.
+//
+// When the snapshot has a materialized baseline and the removed
+// connection's interference closure covers at most the compaction
+// threshold's fraction of the survivors, the baseline is shrunk in place —
+// the surviving unit traces outside the closure replay bit-identically, so
+// the next admission test extends a warm baseline exactly as if the
+// released connection had never been admitted. Otherwise the release
+// compacts: the new snapshot starts epoch-stamped with no baseline and a
+// background build re-promotes one, so the release itself never blocks on
+// a rebuild.
+func (e *Engine) Release(name string) (ReleaseInfo, bool) {
+	for {
+		snap := e.Snapshot()
+		idx := -1
+		for i, conn := range snap.admitted {
+			if conn.Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return ReleaseInfo{}, false
+		}
+		info := ReleaseInfo{Affected: -1}
+		var promoted *analysis.Baseline
+		if e.inc != nil {
+			if base := snap.cachedBaseline(); base != nil {
+				survivors := append(append([]topo.Connection(nil), snap.admitted[:idx]...), snap.admitted[idx+1:]...)
+				affected, _ := AffectedSet(len(e.servers), survivors, snap.admitted[idx])
+				info.Affected = len(affected)
+				e.observeAffected(len(affected))
+				if float64(len(affected)) <= e.compactFrac*float64(len(survivors)) {
+					if ext, err := base.Shrink(idx); err == nil {
+						promoted = ext.Promote()
+						info.Incremental = true
+					}
+				}
+			}
+		}
+		if e.commitRemove(snap, idx, promoted) {
+			if info.Incremental {
+				e.incRels.Add(1)
+			} else {
+				e.compactRels.Add(1)
+				if e.inc != nil && e.prewarm {
+					// Background re-promotion: rebuild the compacted
+					// snapshot's baseline off the request path. The build
+					// lands in the snapshot's lazy slot, so a test arriving
+					// mid-build joins it instead of starting a second full
+					// analysis, and a test arriving after finds it warm. If
+					// the snapshot has already been superseded the result is
+					// simply never read.
+					next := e.snap.Load()
+					go func() { _, _ = next.baseline() }()
+				}
+			}
+			return info, true
+		}
+		e.conflicts.Add(1)
+	}
+}
+
+// commitRemove installs snap minus index idx as the next version iff snap
+// is still current, carrying the shrunken baseline when one was built.
+func (e *Engine) commitRemove(snap *Snapshot, idx int, promoted *analysis.Baseline) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	cur := e.snap.Load()
-	for i, conn := range cur.admitted {
-		if conn.Name == name {
-			next := &Snapshot{eng: e, version: cur.version + 1}
-			next.admitted = append(next.admitted, cur.admitted[:i]...)
-			next.admitted = append(next.admitted, cur.admitted[i+1:]...)
-			e.snap.Store(next)
-			return true
-		}
+	if e.snap.Load() != snap {
+		return false
 	}
-	return false
+	next := &Snapshot{eng: e, version: snap.version + 1, promoted: promoted}
+	next.admitted = append(next.admitted, snap.admitted[:idx]...)
+	next.admitted = append(next.admitted, snap.admitted[idx+1:]...)
+	if promoted != nil {
+		e.epoch.Add(1)
+	}
+	e.snap.Store(next)
+	return true
+}
+
+// Remove releases an admitted connection by name. It is Release without
+// the report, kept for callers that only care whether the name existed.
+func (e *Engine) Remove(name string) bool {
+	_, ok := e.Release(name)
+	return ok
+}
+
+// WarmBaseline synchronously materializes the current snapshot's analysis
+// baseline so the next admission test runs incrementally at full speed. It
+// is a no-op when a baseline is already warm (e.g. after an incremental
+// release) or when the incremental path is off. Daemons call it after
+// startup pre-admission; benchmarks use it to charge a compacted release
+// with the rebuild it forces.
+func (e *Engine) WarmBaseline() error {
+	if e.inc == nil {
+		return nil
+	}
+	_, err := e.Snapshot().baseline()
+	return err
 }
 
 // Count returns the number of admitted connections.

@@ -400,6 +400,155 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 	return mkExt(promoted.res, stats, promoted), nil
 }
 
+// removeConnection returns a copy of conns without index remove.
+func removeConnection(conns []topo.Connection, remove int) []topo.Connection {
+	out := make([]topo.Connection, 0, len(conns)-1)
+	out = append(out, conns[:remove]...)
+	out = append(out, conns[remove+1:]...)
+	return out
+}
+
+// remapShrunkTrace rebuilds a recorded unit trace with connection indices
+// shifted down past the removed one. Clean units are never crossed by the
+// removed connection (that is what makes them clean), so its entry is
+// absent by construction; the guard keeps a would-be bug loud in tests
+// rather than silently replaying stale state.
+func remapShrunkTrace(t *unitTrace, removed int) *unitTrace {
+	out := &unitTrace{post: make(map[int]connTrace, len(t.post)), backlog: t.backlog}
+	for c, st := range t.post {
+		if c == removed {
+			panic("analysis: shrink replayed a unit crossed by the removed connection")
+		}
+		if c > removed {
+			c--
+		}
+		out.post[c] = st
+	}
+	return out
+}
+
+// Shrink analyzes the baseline's network with the connection at index
+// remove released, recomputing only the units inside the removed
+// connection's interference closure and replaying the recorded traces
+// (indices remapped) for every other unit. The result is bit-identical to
+// core's full analysis of the shrunken network, by the same induction as
+// Extend: a unit not crossed by the removed connection and crossed by no
+// dirty survivor saw exactly the same crossing set and entry states in the
+// baseline run, so its recorded outputs are what recomputation would
+// produce. The returned Extension's Result covers the survivors in their
+// new (shifted) indexing, and Promote hands back a baseline for the
+// shrunken network at no extra cost.
+func (b *Baseline) Shrink(remove int) (*Extension, error) {
+	return b.ShrinkContext(context.Background(), remove)
+}
+
+// ShrinkContext is Shrink with cooperative cancellation between (and
+// inside) recomputed units. An uncancelled call is bit-identical to Shrink.
+func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, error) {
+	if remove < 0 || remove >= len(b.orig.Connections) {
+		return nil, fmt.Errorf("analysis: shrink index %d out of range [0,%d)", remove, len(b.orig.Connections))
+	}
+	trialOrig := &topo.Network{
+		Servers:     b.orig.Servers,
+		Connections: removeConnection(b.orig.Connections, remove),
+	}
+	if err := checkAnalyzable(trialOrig); err != nil {
+		return nil, err
+	}
+	// Shrunken trial in normalized units: the scale depends only on the
+	// servers, which a release does not change.
+	trial := trialOrig
+	if b.scale != 1 {
+		trial = &topo.Network{
+			Servers:     b.norm.Servers,
+			Connections: removeConnection(b.norm.Connections, remove),
+		}
+	}
+	if err := b.core.check(trial); err != nil {
+		return nil, err
+	}
+	mkExt := func(res *Result, stats ExtendStats, promoted *Baseline) *Extension {
+		return &Extension{Stats: stats, res: res, scale: b.scale, promoted: promoted}
+	}
+	// Releasing traffic can restore stability, so an unstable baseline does
+	// not imply an unstable trial: its empty trace just recomputes every
+	// unit below. The converse cannot happen, but keep the same guard as
+	// Extend so the degenerate case stays total.
+	if !trial.Stable() {
+		res := allInf(b.core.name(), trial)
+		promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
+			res: res, trace: map[string]*unitTrace{}, unstable: true}
+		return mkExt(res, ExtendStats{Affected: len(trial.Connections)}, promoted), nil
+	}
+	units, err := b.core.units(trial)
+	if err != nil {
+		return nil, err
+	}
+	p := newPropagation(trial)
+	dirty := map[int]bool{}
+	stats := ExtendStats{}
+	newTrace := make(map[string]*unitTrace, len(units))
+	for _, u := range units {
+		if canceled(ctx) {
+			return nil, ctxErr(ctx.Err())
+		}
+		conns := u.crossing(trial)
+		old := b.trace[u.key()]
+		isDirty := old == nil
+		if !isDirty {
+			// The removed connection seeds the closure: every unit it
+			// crossed in the baseline run loses a crossing connection and
+			// must recompute.
+			if _, crossed := old.post[remove]; crossed {
+				isDirty = true
+			}
+		}
+		if !isDirty {
+			for _, c := range conns {
+				if dirty[c] {
+					isDirty = true
+					break
+				}
+			}
+		}
+		if isDirty {
+			ok, err := b.core.apply(ctx, trial, u, p)
+			if err != nil {
+				return nil, err
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, ctxErr(cerr)
+			}
+			if !ok {
+				res := allInf(b.core.name(), trial)
+				promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
+					res: res, trace: map[string]*unitTrace{}, unstable: true}
+				return mkExt(res, ExtendStats{Affected: len(trial.Connections)}, promoted), nil
+			}
+			for _, c := range conns {
+				dirty[c] = true
+			}
+			newTrace[u.key()] = recordUnit(u, conns, p)
+			stats.RecomputedUnits++
+		} else {
+			t := remapShrunkTrace(old, remove)
+			replayUnit(t, p)
+			newTrace[u.key()] = t
+			stats.ReplayedUnits++
+		}
+	}
+	stats.Affected = len(dirty)
+	promoted := &Baseline{
+		core:  b.core,
+		orig:  trialOrig,
+		norm:  trial,
+		scale: b.scale,
+		res:   p.result(b.core.name()),
+		trace: newTrace,
+	}
+	return mkExt(promoted.res, stats, promoted), nil
+}
+
 // decomposedCore adapts the decomposition analysis to the driver: one unit
 // per server, in topological order.
 type decomposedCore struct{}

@@ -257,6 +257,15 @@ func writeEngineMetrics(w io.Writer, st *State) {
 	gaugeLine(w, "delayd_admission_tests_total", `mode="incremental"`, float64(stats.IncrementalTests))
 	gaugeLine(w, "delayd_admission_tests_total", `mode="full"`, float64(stats.FullTests))
 
+	fmt.Fprintln(w, "# HELP delayd_admission_releases_total Connection releases, by how the baseline absorbed them.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_releases_total counter")
+	gaugeLine(w, "delayd_admission_releases_total", `mode="incremental"`, float64(stats.IncrementalReleases))
+	gaugeLine(w, "delayd_admission_releases_total", `mode="compacted"`, float64(stats.CompactedReleases))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_baseline_epoch Generation of the analysis baseline (bumps on every rebuild or shrink).")
+	fmt.Fprintln(w, "# TYPE delayd_admission_baseline_epoch gauge")
+	gaugeLine(w, "delayd_admission_baseline_epoch", "", float64(stats.BaselineEpoch))
+
 	fmt.Fprintln(w, "# HELP delayd_admission_commit_conflicts_total Admit retries forced by a concurrent commit.")
 	fmt.Fprintln(w, "# TYPE delayd_admission_commit_conflicts_total counter")
 	gaugeLine(w, "delayd_admission_commit_conflicts_total", "", float64(stats.CommitConflicts))

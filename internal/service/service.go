@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"math"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -84,6 +86,7 @@ type route struct {
 	canonical string   // path under /v1
 	aliases   []string // additional non-deprecated spellings
 	legacy    []string // deprecated pre-versioning spellings
+	successor string   // when set, the canonical route itself is deprecated in favor of this path
 	handler   http.HandlerFunc
 }
 
@@ -96,7 +99,12 @@ func (s *Server) routes() []route {
 			legacy: []string{"/connections"}},
 		{method: "DELETE", canonical: "/v1/connections/{name}", handler: s.handleRemove,
 			legacy: []string{"/connections/{name}"}},
-		{method: "POST", canonical: "/v1/admit/batch", handler: s.handleAdmitBatch},
+		{method: "POST", canonical: "/v1/batch", handler: s.handleBatch},
+		// The admit-only batch predates the mixed-op /v1/batch; it keeps its
+		// request schema but answers deprecated, pointing at its successor.
+		{method: "POST", canonical: "/v1/admit/batch", handler: s.handleAdmitBatch,
+			successor: "/v1/batch"},
+		{method: "GET", canonical: "/v1/stats", handler: s.handleStats},
 		{method: "POST", canonical: "/v1/analyze", handler: s.handleAnalyze,
 			legacy: []string{"/analyze"}},
 		{method: "GET", canonical: "/v1/metrics", handler: s.handleMetrics,
@@ -146,9 +154,13 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	for _, rt := range s.routes() {
 		label := rt.method + " " + rt.canonical
-		s.mux.HandleFunc(label, s.instrument(label, rt.handler))
+		handler := rt.handler
+		if rt.successor != "" {
+			handler = deprecated(rt.successor, handler)
+		}
+		s.mux.HandleFunc(label, s.instrument(label, handler))
 		for _, alias := range rt.aliases {
-			s.mux.HandleFunc(rt.method+" "+alias, s.instrument(label, rt.handler))
+			s.mux.HandleFunc(rt.method+" "+alias, s.instrument(label, handler))
 		}
 		for _, old := range rt.legacy {
 			s.mux.HandleFunc(rt.method+" "+old, s.instrument(label, deprecated(rt.canonical, rt.handler)))
@@ -690,30 +702,300 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ListResponse is the body of GET /v1/connections.
+// BatchOp is one operation inside POST /v1/batch: an admission (op
+// "admit", with the candidate spec) or a release (op "release", with the
+// admitted connection's name).
+type BatchOp struct {
+	Op         string                  `json:"op"`
+	Connection *netspec.ConnectionSpec `json:"connection,omitempty"`
+	Name       string                  `json:"name,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: a mixed, ordered list of
+// admit and release operations, executed in order against the live set
+// (greedy semantics — each operation sees the set as left by its
+// predecessors).
+type BatchRequest struct {
+	Operations []BatchOp `json:"operations"`
+	// DryRun tests admit operations without committing them; release
+	// operations are invalid in a dry-run batch (there is nothing sound to
+	// report without actually removing the connection).
+	DryRun bool `json:"dry_run,omitempty"`
+	// TimeoutSeconds overrides the server's soft analysis budget for each
+	// admit operation; zero keeps the server default, negative is rejected.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// Batch item statuses: every per-op envelope carries exactly one.
+const (
+	BatchStatusAdmitted = "admitted" // admit op: candidate committed (or passed dry-run)
+	BatchStatusRejected = "rejected" // admit op: candidate failed the admission test
+	BatchStatusReleased = "released" // release op: connection removed
+	BatchStatusError    = "error"    // op failed outright; see the error detail
+)
+
+// BatchOpResult is the per-operation envelope of a /v1/batch response:
+// the operation's index and kind, its status, and either the admission
+// decision (admit ops) or the release mode (release ops) or an error
+// detail.
+type BatchOpResult struct {
+	Index    int             `json:"index"`
+	Op       string          `json:"op"`
+	Status   string          `json:"status"`
+	Decision *BatchAdmitItem `json:"decision,omitempty"`
+	// Mode reports how a release was absorbed: "incremental" (baseline
+	// shrunk in place) or "compacted" (baseline dropped, rebuilt lazily).
+	Mode  string       `json:"mode,omitempty"`
+	Error *ErrorDetail `json:"error,omitempty"`
+}
+
+// BatchResponse reports a whole mixed batch: per-operation envelopes in
+// request order plus the totals.
+type BatchResponse struct {
+	DryRun   bool            `json:"dry_run,omitempty"`
+	Admitted int             `json:"admitted"`
+	Rejected int             `json:"rejected"`
+	Released int             `json:"released"`
+	Errors   int             `json:"errors"`
+	Results  []BatchOpResult `json:"results"`
+	Count    int             `json:"count"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Operations) == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "batch has no operations")
+		return
+	}
+	if req.TimeoutSeconds < 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "timeout_seconds must be non-negative")
+		return
+	}
+	index, err := netspec.ServerIndex(s.state.Servers())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	// Validate the whole batch up front so a malformed operation 7 fails
+	// the request before operation 0 commits anything.
+	cands := make([]topo.Connection, len(req.Operations))
+	for i, op := range req.Operations {
+		switch op.Op {
+		case "admit":
+			if op.Connection == nil {
+				writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+					fmt.Sprintf("operation %d: admit requires a connection", i))
+				return
+			}
+			cand, err := netspec.ConnectionFromSpec(op.Connection, index)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+					fmt.Sprintf("operation %d: %v", i, err))
+				return
+			}
+			cands[i] = cand
+		case "release":
+			if strings.TrimSpace(op.Name) == "" {
+				writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+					fmt.Sprintf("operation %d: release requires a name", i))
+				return
+			}
+			if req.DryRun {
+				writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+					fmt.Sprintf("operation %d: release is not supported in dry-run batches", i))
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec,
+				fmt.Sprintf("operation %d: unknown op %q (want admit or release)", i, op.Op))
+			return
+		}
+	}
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		s.shed(w, "request deadline exceeded")
+		return
+	}
+	if !s.acquireSlot(ctx) {
+		s.shed(w, "no analysis slot free before the request deadline")
+		return
+	}
+	defer s.releaseSlot()
+	resp := BatchResponse{DryRun: req.DryRun, Results: make([]BatchOpResult, 0, len(req.Operations))}
+	for i, op := range req.Operations {
+		item := BatchOpResult{Index: i, Op: op.Op}
+		switch op.Op {
+		case "admit":
+			d, degraded, err := s.runAdmission(ctx, "POST /v1/batch", req.DryRun, cands[i], req.TimeoutSeconds)
+			if err != nil && admission.IsCanceled(err) {
+				// The hard deadline passed mid-batch; nothing more will be
+				// written, so the whole request sheds (committed prefixes
+				// stay, like repeated single-op requests would).
+				s.shed(w, fmt.Sprintf("batch deadline exceeded at operation %d", i))
+				return
+			}
+			dec := &BatchAdmitItem{
+				Connection: cands[i].Name,
+				Admitted:   d.Admitted,
+				Code:       d.Code,
+				Reason:     d.Reason,
+				Violations: toViolations(d.Violations),
+				MaxBound:   Bound(d.MaxBound()),
+				Degraded:   degraded,
+			}
+			switch {
+			case err != nil:
+				item.Status = BatchStatusError
+				item.Error = &ErrorDetail{Code: d.Code, Message: err.Error()}
+				if item.Error.Code == "" {
+					item.Error.Code = CodeInvalidSpec
+				}
+				resp.Errors++
+			case d.Admitted:
+				item.Status = BatchStatusAdmitted
+				item.Decision = dec
+				resp.Admitted++
+			default:
+				item.Status = BatchStatusRejected
+				item.Decision = dec
+				resp.Rejected++
+			}
+		case "release":
+			info, ok := s.state.Release(op.Name)
+			if !ok {
+				item.Status = BatchStatusError
+				item.Error = &ErrorDetail{Code: CodeNotFound,
+					Message: fmt.Sprintf("no admitted connection named %q", op.Name)}
+				resp.Errors++
+				break
+			}
+			item.Status = BatchStatusReleased
+			item.Mode = releaseMode(info)
+			resp.Released++
+		}
+		resp.Results = append(resp.Results, item)
+	}
+	resp.Count = s.state.Count()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// releaseMode names how the engine absorbed a release in API responses.
+func releaseMode(info admission.ReleaseInfo) string {
+	if info.Incremental {
+		return "incremental"
+	}
+	return "compacted"
+}
+
+// ListResponse is the body of GET /v1/connections. Count is the number of
+// connections matching the filter (the whole admitted set without one);
+// Connections is the requested page and NextCursor, when present, fetches
+// the next page (pass it back as ?cursor=).
 type ListResponse struct {
 	Count       int                      `json:"count"`
 	Utilization []float64                `json:"utilization"`
 	Connections []netspec.ConnectionSpec `json:"connections"`
+	NextCursor  string                   `json:"next_cursor,omitempty"`
+}
+
+// encodeCursor / decodeCursor wrap the page offset in an opaque token so
+// clients do not couple to the paging scheme.
+func encodeCursor(offset int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(strconv.Itoa(offset)))
+}
+
+func decodeCursor(token string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return 0, fmt.Errorf("malformed cursor")
+	}
+	off, err := strconv.Atoi(string(raw))
+	if err != nil || off < 0 {
+		return 0, fmt.Errorf("malformed cursor")
+	}
+	return off, nil
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	conns, util, count := s.state.Snapshot()
-	spec := netspec.ToSpec(&topo.Network{Servers: s.state.Servers(), Connections: conns})
-	if spec.Connections == nil {
-		spec.Connections = []netspec.ConnectionSpec{}
+	q := r.URL.Query()
+	limit := 0 // 0: no paging (the whole set), preserving the pre-pagination contract
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
 	}
-	writeJSON(w, http.StatusOK, ListResponse{
-		Count:       count,
-		Utilization: util,
-		Connections: spec.Connections,
-	})
+	offset := 0
+	if v := q.Get("cursor"); v != "" {
+		off, err := decodeCursor(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
+			return
+		}
+		offset = off
+	}
+
+	conns, util, _ := s.state.Snapshot()
+
+	// ?server= narrows the listing to connections whose path crosses the
+	// named fabric server.
+	if name := q.Get("server"); name != "" {
+		serverIdx := -1
+		for i, sv := range s.state.Servers() {
+			if sv.Name == name {
+				serverIdx = i
+				break
+			}
+		}
+		if serverIdx < 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidSpec, fmt.Sprintf("no fabric server named %q", name))
+			return
+		}
+		filtered := conns[:0]
+		for _, c := range conns {
+			for _, hop := range c.Path {
+				if hop == serverIdx {
+					filtered = append(filtered, c)
+					break
+				}
+			}
+		}
+		conns = filtered
+	}
+
+	resp := ListResponse{Count: len(conns), Utilization: util}
+	page := conns
+	if offset > 0 {
+		if offset > len(conns) {
+			offset = len(conns)
+		}
+		page = conns[offset:]
+	}
+	if limit > 0 && len(page) > limit {
+		page = page[:limit]
+		resp.NextCursor = encodeCursor(offset + limit)
+	}
+	spec := netspec.ToSpec(&topo.Network{Servers: s.state.Servers(), Connections: page})
+	resp.Connections = spec.Connections
+	if resp.Connections == nil {
+		resp.Connections = []netspec.ConnectionSpec{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// RemoveResponse is the body of DELETE /v1/connections/{name}.
+// RemoveResponse is the body of DELETE /v1/connections/{name}. Mode
+// reports how the engine absorbed the release: "incremental" (the
+// analysis baseline was shrunk in place, so the next test stays fast) or
+// "compacted" (the baseline was dropped and rebuilds lazily).
 type RemoveResponse struct {
 	Removed string `json:"removed"`
 	Count   int    `json:"count"`
+	Mode    string `json:"mode"`
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -722,11 +1004,70 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "empty connection name")
 		return
 	}
-	if !s.state.Remove(name) {
+	info, ok := s.state.Release(name)
+	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no admitted connection named %q", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, RemoveResponse{Removed: name, Count: s.state.Count()})
+	writeJSON(w, http.StatusOK, RemoveResponse{Removed: name, Count: s.state.Count(), Mode: releaseMode(info)})
+}
+
+// StatsCounter pairs the incremental and full counts of one operation.
+type StatsCounter struct {
+	Incremental uint64 `json:"incremental"`
+	Full        uint64 `json:"full"`
+}
+
+// AffectedBucket is one bucket of the affected-set histogram: how many
+// incremental analyses had a closure of at most LE admitted connections
+// (cumulative, Prometheus-style; LE null is the +Inf bucket).
+type AffectedBucket struct {
+	LE    Bound  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the admission engine's
+// counters as a stable JSON schema. Releases.Full counts compacted
+// releases (baseline dropped); AffectedSum/AffectedCount give the mean
+// closure size alongside the histogram.
+type StatsResponse struct {
+	Analyzer        string           `json:"analyzer"`
+	Incremental     bool             `json:"incremental"`
+	Admitted        int              `json:"admitted"`
+	SnapshotVersion uint64           `json:"snapshot_version"`
+	BaselineEpoch   uint64           `json:"baseline_epoch"`
+	Tests           StatsCounter     `json:"tests"`
+	Releases        StatsCounter     `json:"releases"`
+	CommitConflicts uint64           `json:"commit_conflicts"`
+	Affected        []AffectedBucket `json:"affected_histogram"`
+	AffectedCount   uint64           `json:"affected_count"`
+	AffectedSum     uint64           `json:"affected_sum"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng := s.state.Engine()
+	st := eng.Stats()
+	snap := eng.Snapshot()
+	resp := StatsResponse{
+		Analyzer:        eng.Analyzer().Name(),
+		Incremental:     eng.Incremental(),
+		Admitted:        snap.Count(),
+		SnapshotVersion: snap.Version(),
+		BaselineEpoch:   st.BaselineEpoch,
+		Tests:           StatsCounter{Incremental: st.IncrementalTests, Full: st.FullTests},
+		Releases:        StatsCounter{Incremental: st.IncrementalReleases, Full: st.CompactedReleases},
+		CommitConflicts: st.CommitConflicts,
+		AffectedCount:   st.AffectedCount,
+		AffectedSum:     st.AffectedSum,
+	}
+	bounds := admission.AffectedBucketBounds()
+	cum := uint64(0)
+	for i, ub := range bounds {
+		cum += st.AffectedBuckets[i]
+		resp.Affected = append(resp.Affected, AffectedBucket{LE: Bound(ub), Count: cum})
+	}
+	resp.Affected = append(resp.Affected, AffectedBucket{LE: Bound(math.Inf(1)), Count: st.AffectedCount})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze.

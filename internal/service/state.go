@@ -91,6 +91,17 @@ func (s *State) AdmitWith(ctx context.Context, analyzer analysis.Analyzer, cand 
 // Remove releases a previously admitted connection by name.
 func (s *State) Remove(name string) bool { return s.eng.Remove(name) }
 
+// Release removes a previously admitted connection by name and reports how
+// the engine absorbed it: incrementally (the analysis baseline was shrunk
+// in place) or by compaction (the baseline was dropped and will rebuild).
+func (s *State) Release(name string) (admission.ReleaseInfo, bool) {
+	return s.eng.Release(name)
+}
+
+// WarmBaseline synchronously materializes the current snapshot's analysis
+// baseline so the next admission test runs incrementally at full speed.
+func (s *State) WarmBaseline() error { return s.eng.WarmBaseline() }
+
 // Admitted returns a copy of the currently admitted connections.
 func (s *State) Admitted() []topo.Connection { return s.eng.Admitted() }
 
