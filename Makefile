@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-admit bench-release bench-service cover figures fuzz run-delayd falsify falsify-smoke help clean
+# Allowed ns/op slowdown factor before bench-gate fails. CI overrides this
+# upward (cross-machine variance); local runs use the strict default.
+BENCH_TOLERANCE ?= 1.3
+
+.PHONY: all build test race bench bench-admit bench-release bench-service bench-curves bench-fabric bench-gate profile-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
 
 all: build test
 
@@ -16,6 +20,9 @@ help:
 	@echo "  bench-release  incremental vs invalidating release benchmark"
 	@echo "  bench-service  churn load against an in-process delayd -> BENCH_service.json"
 	@echo "  bench-curves   curve-engine benchmarks -> BENCH_curves.json"
+	@echo "  bench-fabric   10k-switch fat-tree analysis benchmark"
+	@echo "  bench-gate     re-run curve benchmarks, fail past $(BENCH_TOLERANCE)x the committed snapshot"
+	@echo "  profile-curves fabric benchmark with CPU/heap profiles -> results/"
 	@echo "  cover          test suite with coverage"
 	@echo "  figures        regenerate paper figures and CSVs"
 	@echo "  falsify        adversarial bound falsification, full matrix -> FALSIFY_report.json"
@@ -57,12 +64,40 @@ bench-service:
 		-seed 1 -out BENCH_service.json -gate-release-factor 2
 
 # Curve-engine benchmarks (docs/PERFORMANCE.md): k-way aggregation vs the
-# pairwise fold, gated convolution, and the end-to-end integrated analysis
-# on the 64-switch/400-connection tandem. Emits BENCH_curves.json.
+# pairwise fold, gated convolution, the end-to-end integrated analysis on
+# the 64-switch/400-connection tandem, and the k=8 fat-tree fabric. Emits
+# BENCH_curves.json; benchjson sorts results by (pkg, name), so the
+# artifact's order is deterministic regardless of package run order.
+BENCH_CURVES_MINPLUS = BenchmarkSumN|BenchmarkSumPairwiseFold|BenchmarkConvolveGated
+BENCH_CURVES_ANALYSIS = BenchmarkIntegratedAnalyze|BenchmarkFabricAnalyzeK8
+
 bench-curves:
-	{ $(GO) test -bench='BenchmarkSumN|BenchmarkSumPairwiseFold|BenchmarkConvolveGated' -benchmem -run '^$$' ./internal/minplus ; \
-	  $(GO) test -bench='BenchmarkIntegratedAnalyze' -benchmem -run '^$$' ./internal/analysis ; } \
+	{ $(GO) test -bench='$(BENCH_CURVES_MINPLUS)' -benchmem -run '^$$' ./internal/minplus ; \
+	  $(GO) test -bench='$(BENCH_CURVES_ANALYSIS)' -benchmem -run '^$$' ./internal/analysis ; } \
 	| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_curves.json
+
+# Re-run the bench-curves suite and fail (exit 2) when any benchmark's
+# ns/op exceeds BENCH_TOLERANCE times its committed BENCH_curves.json
+# entry. The regression diff goes to stderr.
+bench-gate:
+	{ $(GO) test -bench='$(BENCH_CURVES_MINPLUS)' -benchmem -run '^$$' ./internal/minplus ; \
+	  $(GO) test -bench='$(BENCH_CURVES_ANALYSIS)' -benchmem -run '^$$' ./internal/analysis ; } \
+	| $(GO) run ./cmd/benchjson -diff BENCH_curves.json -tolerance $(BENCH_TOLERANCE) > /dev/null
+
+# Datacenter-fabric benchmark (docs/PERFORMANCE.md): the integrated
+# analysis on a k=22 fat-tree — ~10k switch-port servers, ~100k
+# connections — plus the k=8 configuration for quick comparisons.
+bench-fabric:
+	$(GO) test -bench='BenchmarkFabricAnalyze' -benchmem -run '^$$' -timeout 30m ./internal/analysis
+
+# Fabric benchmark under the profiler: CPU and heap profiles for the k=8
+# fat-tree into results/ (inspect with `go tool pprof`). For live profiles
+# of the serving path, delayd exposes net/http/pprof via -pprof.
+profile-curves:
+	mkdir -p results
+	$(GO) test -bench='BenchmarkFabricAnalyzeK8' -benchmem -run '^$$' \
+		-cpuprofile results/fabric_cpu.pprof -memprofile results/fabric_mem.pprof ./internal/analysis
+	@echo "inspect: $(GO) tool pprof results/fabric_cpu.pprof"
 
 cover:
 	$(GO) test -cover ./...
@@ -79,7 +114,7 @@ falsify:
 # the build.
 falsify-smoke:
 	$(GO) run ./cmd/falsify -seed 1 -iters 12 -restarts 2 \
-		-scenarios tandem2-u80,parkinglot4,star4,line4 -analyzers decomposed,integrated
+		-scenarios tandem2-u80,parkinglot4,star4,line4,fattree2 -analyzers decomposed,integrated
 
 # Regenerate every paper figure and extension experiment (CSV into results/).
 figures:

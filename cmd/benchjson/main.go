@@ -8,13 +8,37 @@
 // Each object carries the benchmark name (GOMAXPROCS suffix stripped), the
 // owning package (from the interleaved "pkg:" headers), the iteration
 // count, and whichever of ns/op, B/op, and allocs/op the run reported.
+// Results are sorted by (pkg, name) so re-running the same benchmark set
+// yields byte-identical artifacts regardless of package execution order.
+//
+// With -diff the freshly parsed results are additionally compared against
+// a committed snapshot:
+//
+//	go test -bench=. ./... | benchjson -diff BENCH_curves.json -tolerance 1.3
+//
+// A benchmark whose ns/op exceeds tolerance times its snapshot value is a
+// regression; benchjson prints every comparison to stderr and exits 2 if
+// any benchmark regressed. Benchmarks present on only one side are
+// reported but do not fail the gate (new benchmarks land before their
+// snapshot does).
+//
+// When the -diff snapshot is a JSON object rather than an array, it is
+// treated as a delayload service report (BENCH_service.json) and stdin
+// must be a fresh report from the same tool; the per-operation p99_ms
+// latencies are compared under the same tolerance:
+//
+//	delayload -self 8 ... -out /dev/stdout | benchjson -diff BENCH_service.json
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,11 +52,11 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-func main() {
+func (r result) key() string { return r.Pkg + " " + r.Name }
+
+func parse(sc *bufio.Scanner) ([]result, error) {
 	var results []result
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
@@ -73,14 +97,151 @@ func main() {
 		}
 		results = append(results, r)
 	}
-	if err := sc.Err(); err != nil {
+	return results, sc.Err()
+}
+
+// diff compares current ns/op against the snapshot per (pkg, name) and
+// reports whether any benchmark regressed past the tolerance factor.
+func diff(current, snapshot []result, tolerance float64) bool {
+	base := make(map[string]result, len(snapshot))
+	for _, r := range snapshot {
+		base[r.key()] = r
+	}
+	regressed := false
+	seen := make(map[string]bool, len(current))
+	for _, r := range current {
+		seen[r.key()] = true
+		b, ok := base[r.key()]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %-60s NEW (no snapshot entry)\n", r.key())
+			continue
+		}
+		if b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > tolerance {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-60s %12.0f -> %12.0f ns/op (%.2fx) %s\n",
+			r.key(), b.NsPerOp, r.NsPerOp, ratio, status)
+	}
+	for _, b := range snapshot {
+		if !seen[b.key()] {
+			fmt.Fprintf(os.Stderr, "benchjson: %-60s MISSING from current run\n", b.key())
+		}
+	}
+	return regressed
+}
+
+// serviceReport is the slice of a delayload report the service diff reads.
+type serviceReport struct {
+	Ops map[string]struct {
+		P99 float64 `json:"p99_ms"`
+	} `json:"ops"`
+}
+
+// diffService compares per-operation p99 latencies of two delayload
+// reports and reports whether any operation regressed past tolerance.
+func diffService(current, snapshot []byte, tolerance float64) (bool, error) {
+	var cur, base serviceReport
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return false, fmt.Errorf("current service report: %w", err)
+	}
+	if err := json.Unmarshal(snapshot, &base); err != nil {
+		return false, fmt.Errorf("snapshot service report: %w", err)
+	}
+	names := make([]string, 0, len(cur.Ops))
+	for name := range cur.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := false
+	for _, name := range names {
+		b, ok := base.Ops[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: op %-10s NEW (no snapshot entry)\n", name)
+			continue
+		}
+		c := cur.Ops[name]
+		if b.P99 <= 0 || c.P99 <= 0 {
+			continue
+		}
+		ratio := c.P99 / b.P99
+		status := "ok"
+		if ratio > tolerance {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: op %-10s p99 %8.3f -> %8.3f ms (%.2fx) %s\n",
+			name, b.P99, c.P99, ratio, status)
+	}
+	return regressed, nil
+}
+
+func main() {
+	diffPath := flag.String("diff", "", "compare parsed results against this committed snapshot; exit 2 on ns/op regressions")
+	tolerance := flag.Float64("tolerance", 1.3, "with -diff, the allowed ns/op slowdown factor before a benchmark counts as regressed")
+	flag.Parse()
+
+	var snapshot []byte
+	if *diffPath != "" {
+		var err error
+		snapshot, err = os.ReadFile(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	// An object-shaped snapshot is a delayload service report: diff p99s
+	// and echo the current report through unchanged.
+	if trimmed := bytes.TrimSpace(snapshot); len(trimmed) > 0 && trimmed[0] == '{' {
+		current, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		regressed, err := diffService(current, snapshot, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(current)
+		if regressed {
+			os.Exit(2)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	results, err := parse(sc)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	sort.Slice(results, func(i, j int) bool { return results[i].key() < results[j].key() })
+
+	regressed := false
+	if *diffPath != "" {
+		var base []result
+		if err := json.Unmarshal(snapshot, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *diffPath, err)
+			os.Exit(1)
+		}
+		regressed = diff(results, base, *tolerance)
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if regressed {
+		os.Exit(2)
 	}
 }

@@ -27,43 +27,51 @@ func sumSorted(m map[int]minplus.Curve) minplus.Curve {
 	return minplus.SumN(curves...)
 }
 
-// sumConns sums the envelopes of the listed connections at one position in
-// list order (callers keep run membership sorted).
-func sumConns(env map[int]minplus.Curve, conns []int) minplus.Curve {
-	curves := make([]minplus.Curve, len(conns))
-	for i, c := range conns {
-		curves[i] = env[c]
-	}
-	return minplus.SumN(curves...)
-}
-
 // runAggregates is the per-iteration aggregate cache of one chain: for
 // every chain position, the partial sum of each run's member envelopes at
 // that position. The total aggregate at a position and the entry/cross
 // aggregates of every interval the DP explores are k-way sums of these
 // partials, so no per-interval re-summation over individual connections is
-// ever needed.
+// ever needed. All partial and derived curves are drawn from the owning
+// chain's arena and die with it; the cache is used strictly sequentially.
 type runAggregates struct {
+	ar   *minplus.Arena
 	runs []*run
+	base []int // member-slot bases, shared with the owning chainScratch
 	// partial[i][ri] is the sum of runs[ri].conns' envelopes at chain
-	// position i; only positions inside the run's interval are populated.
+	// position i; only positions inside the run's interval are populated
+	// (entries outside it are never read). Rows slice the reusable flat
+	// backing, so steady-state chains allocate nothing here.
+	flat    []minplus.Curve
 	partial [][]minplus.Curve
+	scratch []minplus.Curve // reusable operand buffer for the k-way sums
 }
 
-func newRunAggregates(nPos int, runs []*run) *runAggregates {
-	ra := &runAggregates{runs: runs, partial: make([][]minplus.Curve, nPos)}
+// init points the cache at the current chain's runs and re-slices the
+// partial table to nPos x len(runs); stale entries from a previous chain
+// are never read (every read is guarded by the covering-run predicate
+// whose entries fill rewrote this chain).
+func (ra *runAggregates) init(ar *minplus.Arena, nPos int, runs []*run, base []int) {
+	ra.ar, ra.runs, ra.base = ar, runs, base
+	ra.flat = resize(ra.flat, nPos*len(runs))
+	ra.partial = resize(ra.partial, nPos)
 	for i := range ra.partial {
-		ra.partial[i] = make([]minplus.Curve, len(runs))
+		ra.partial[i] = ra.flat[i*len(runs) : (i+1)*len(runs)]
 	}
-	return ra
 }
 
 // fill computes the partial sums of every run present at position i from
-// the position's envelope map.
-func (ra *runAggregates) fill(i int, env map[int]minplus.Curve) {
+// the position's slot-indexed envelope row.
+func (ra *runAggregates) fill(i int, env []minplus.Curve) {
 	for ri, r := range ra.runs {
 		if r.lo <= i && i <= r.hi {
-			ra.partial[i][ri] = sumConns(env, r.conns)
+			curves := ra.scratch[:0]
+			b := ra.base[ri]
+			for j := range r.conns {
+				curves = append(curves, env[b+j])
+			}
+			ra.partial[i][ri] = ra.ar.SumNSlice(curves)
+			ra.scratch = curves[:0]
 		}
 	}
 }
@@ -71,38 +79,41 @@ func (ra *runAggregates) fill(i int, env map[int]minplus.Curve) {
 // total returns the full aggregate at position i (sum over every run
 // present there, in run order).
 func (ra *runAggregates) total(i int) minplus.Curve {
-	curves := make([]minplus.Curve, 0, len(ra.runs))
+	curves := ra.scratch[:0]
 	for ri, r := range ra.runs {
 		if r.lo <= i && i <= r.hi {
 			curves = append(curves, ra.partial[i][ri])
 		}
 	}
-	return minplus.SumN(curves...)
+	ra.scratch = curves[:0]
+	return ra.ar.SumNSlice(curves)
 }
 
 // covering returns the sum at position at of the partials of runs whose
 // interval covers [lo, hi] — the through-aggregate of the interval.
 func (ra *runAggregates) covering(at, lo, hi int) minplus.Curve {
-	curves := make([]minplus.Curve, 0, len(ra.runs))
+	curves := ra.scratch[:0]
 	for ri, r := range ra.runs {
 		if r.lo <= lo && hi <= r.hi {
 			curves = append(curves, ra.partial[at][ri])
 		}
 	}
-	return minplus.SumN(curves...)
+	ra.scratch = curves[:0]
+	return ra.ar.SumNSlice(curves)
 }
 
 // crossAt returns the cross traffic of interval [lo, hi] at position at:
 // the partials of runs present at the position whose interval does not
 // cover [lo, hi].
 func (ra *runAggregates) crossAt(at, lo, hi int) minplus.Curve {
-	curves := make([]minplus.Curve, 0, len(ra.runs))
+	curves := ra.scratch[:0]
 	for ri, r := range ra.runs {
 		if r.lo <= at && at <= r.hi && !(r.lo <= lo && hi <= r.hi) {
 			curves = append(curves, ra.partial[at][ri])
 		}
 	}
-	return minplus.SumN(curves...)
+	ra.scratch = curves[:0]
+	return ra.ar.SumNSlice(curves)
 }
 
 // parallelValues evaluates f(0..n-1) across the available cores into a
@@ -112,17 +123,29 @@ func (ra *runAggregates) crossAt(at, lo, hi int) minplus.Curve {
 // it is done, leaving the remaining slots zero; callers must discard the
 // slice after cancellation (they surface ctx.Err() instead).
 func parallelValues(ctx context.Context, n int, f func(int) float64) []float64 {
+	return parallelValuesArena(ctx, n, func(_ *minplus.Arena, i int) float64 { return f(i) })
+}
+
+// parallelValuesArena is parallelValues with a per-worker curve arena:
+// each worker draws one arena from the pool, resets it between
+// evaluations, and releases it when done, so per-candidate curve scratch
+// never reaches the garbage collector. f must not retain arena-backed
+// curves past its return.
+func parallelValuesArena(ctx context.Context, n int, f func(*minplus.Arena, int) float64) []float64 {
 	vals := make([]float64, n)
 	workers := maxParallelWorkers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		ar := minplus.GetArena()
+		defer ar.Release()
 		for i := 0; i < n; i++ {
 			if canceled(ctx) {
 				break
 			}
-			vals[i] = f(i)
+			ar.Reset()
+			vals[i] = f(ar, i)
 		}
 		return vals
 	}
@@ -134,12 +157,15 @@ func parallelValues(ctx context.Context, n int, f func(int) float64) []float64 {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ar := minplus.GetArena()
+			defer ar.Release()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n || canceled(ctx) {
 					return
 				}
-				vals[i] = f(i)
+				ar.Reset()
+				vals[i] = f(ar, i)
 			}
 		}()
 	}

@@ -116,6 +116,13 @@ type propagation struct {
 	next    []int // index into Connection.Path of the next unprocessed hop
 	stage   [][]Stage
 	backlog []float64 // per-server buffer bound, filled as servers are seen
+	// shift recycles each connection's envelope storage across the
+	// per-subnetwork ShiftLefts: only the latest envelope (and its
+	// immediate predecessor, still referenced by the analyzing chain's
+	// scratch) is live, so double buffering per connection suffices.
+	// Connections are advanced by at most one chain at a time, so the
+	// per-slot discipline holds under level parallelism.
+	shift *minplus.ShiftPool
 }
 
 func newPropagation(net *topo.Network) *propagation {
@@ -126,9 +133,24 @@ func newPropagation(net *topo.Network) *propagation {
 		stage:   make([][]Stage, len(net.Connections)),
 		backlog: make([]float64, len(net.Servers)),
 	}
+	// A connection accrues at most one stage per hop, and each shift can
+	// add at most two breakpoints to its envelope: one flat slab backs
+	// every stage list and the shift pool, fixed-capacity sub-sliced so
+	// concurrent chains append into disjoint ranges.
+	totalHops := 0
+	for _, c := range net.Connections {
+		totalHops += len(c.Path)
+	}
+	stageSlab := make([]Stage, 0, totalHops)
+	hints := make([]int, len(net.Connections))
 	for i, c := range net.Connections {
 		p.env[i] = c.SourceEnvelope()
+		n := len(stageSlab)
+		stageSlab = stageSlab[:n+len(c.Path)]
+		p.stage[i] = stageSlab[n:n:n+len(c.Path)]
+		hints[i] = p.env[i].NumPoints() + 2*len(c.Path) + 2
 	}
+	p.shift = minplus.NewShiftPool(hints)
 	return p
 }
 
@@ -142,7 +164,7 @@ func (p *propagation) advance(c int, servers []int, d float64, nHops int) bool {
 		return false
 	}
 	p.delay[c] += d
-	p.env[c] = minplus.ShiftLeft(p.env[c], d)
+	p.env[c] = p.shift.ShiftLeft(c, p.env[c], d)
 	p.next[c] += nHops
 	p.stage[c] = append(p.stage[c], Stage{Servers: servers, Delay: d})
 	return true
@@ -244,6 +266,15 @@ func maxParallelWorkers() int { return runtime.GOMAXPROCS(0) }
 // the partial minimum returned after cancellation is meaningless and
 // callers must discard it (they surface ctx.Err() instead).
 func parallelMin(ctx context.Context, n int, f func(int) float64) float64 {
+	return parallelMinArena(ctx, n, func(_ *minplus.Arena, i int) float64 { return f(i) })
+}
+
+// parallelMinArena is parallelMin with a per-worker curve arena: each
+// worker draws one arena from the pool, resets it between candidates, and
+// releases it when done, so candidate-local curve scratch never reaches
+// the garbage collector. f must not retain arena-backed curves past its
+// return.
+func parallelMinArena(ctx context.Context, n int, f func(*minplus.Arena, int) float64) float64 {
 	if n == 0 {
 		return math.Inf(1)
 	}
@@ -252,12 +283,15 @@ func parallelMin(ctx context.Context, n int, f func(int) float64) float64 {
 		workers = n
 	}
 	if workers <= 1 {
+		ar := minplus.GetArena()
+		defer ar.Release()
 		best := math.Inf(1)
 		for i := 0; i < n; i++ {
 			if canceled(ctx) {
 				break
 			}
-			if v := f(i); v < best {
+			ar.Reset()
+			if v := f(ar, i); v < best {
 				best = v
 			}
 		}
@@ -273,13 +307,16 @@ func parallelMin(ctx context.Context, n int, f func(int) float64) float64 {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			ar := minplus.GetArena()
+			defer ar.Release()
 			local := math.Inf(1)
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n || canceled(ctx) {
 					break
 				}
-				if v := f(i); v < local {
+				ar.Reset()
+				if v := f(ar, i); v < local {
 					local = v
 				}
 			}

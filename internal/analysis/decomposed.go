@@ -74,16 +74,20 @@ func decomposedPass(ctx context.Context, net *topo.Network) (p *propagation, per
 			perHopEnv[c][p.next[c]] = p.env[c]
 		}
 	}
+	idx := net.ConnectionIndex()
+	ar := minplus.GetArena()
+	defer ar.Release()
 	for _, s := range order {
 		if canceled(ctx) {
 			return nil, nil, false, ctxErr(ctx.Err())
 		}
-		conns := net.ConnectionsAt(s)
+		conns := idx[s]
 		if len(conns) == 0 {
 			continue
 		}
 		record(conns)
-		ok, serr := decomposedServerStep(net, s, p)
+		ar.Reset()
+		ok, serr := decomposedServerStep(net, s, conns, p, ar)
 		if serr != nil || !ok {
 			return nil, nil, false, serr
 		}
@@ -95,21 +99,24 @@ func decomposedPass(ctx context.Context, net *topo.Network) (p *propagation, per
 // backlog bound and advances every crossing connection by the local delay
 // of the server's discipline. It is the unit computation shared by the
 // full decomposed pass and the incremental driver. ok=false means a local
-// delay was unbounded and the whole analysis degrades to +Inf.
-func decomposedServerStep(net *topo.Network, s int, p *propagation) (ok bool, err error) {
+// delay was unbounded and the whole analysis degrades to +Inf. conns must
+// be the server's crossing connections (ConnectionIndex order); the
+// aggregate envelope is computed once, in the arena, and consumed before
+// the caller resets it.
+func decomposedServerStep(net *topo.Network, s int, conns []int, p *propagation, ar *minplus.Arena) (ok bool, err error) {
 	srv := net.Servers[s]
-	conns := net.ConnectionsAt(s)
 	if len(conns) == 0 {
 		return true, nil
 	}
-	var envs []minplus.Curve
+	envs := ar.Curves(len(conns))
 	for _, c := range conns {
 		envs = append(envs, p.env[c])
 	}
-	p.recordBacklog(s, minplus.Sum(envs...), srv.Capacity)
+	agg := ar.SumNSlice(envs)
+	p.recordBacklog(s, agg, srv.Capacity)
 	switch srv.Discipline {
 	case server.FIFO:
-		d := fifoLocalDelay(minplus.Sum(envs...), srv.Capacity, srv.Latency)
+		d := fifoLocalDelay(agg, srv.Capacity, srv.Latency)
 		for _, c := range conns {
 			if !p.advance(c, []int{s}, d, 1) {
 				return false, nil

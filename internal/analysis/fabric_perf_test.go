@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"delaycalc/internal/topo"
+)
+
+// fabricNet builds the datacenter-fabric benchmark workload: a k-ary
+// fat-tree with hostsPerEdge flows per edge switch, loaded to 55% on its
+// hottest link.
+func fabricNet(tb testing.TB, k, hostsPerEdge int) *topo.Network {
+	tb.Helper()
+	net, err := topo.FatTree(k, hostsPerEdge, 0.55)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net
+}
+
+// TestFabricSpeedup enforces the allocation-free overhaul's acceptance
+// gate on the fabric workload: against the pre-overhaul engine (frozen
+// verbatim in fabricref_test.go) the pooled engine must be at least 2x
+// faster and allocate at least 10x less on a fat-tree fabric, while
+// producing identical bounds. The gate runs at k=16 (4,096 link servers,
+// 12,800 flows) to keep the reference engine's share of the test budget
+// tolerable; BenchmarkFabricAnalyze covers the full ~10k-switch scale.
+func TestFabricSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate")
+	}
+	net := fabricNet(t, 16, 100)
+	a := Integrated{}
+
+	fastRes, err := a.Analyze(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowRes, err := preIntegratedAnalyze(a, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fastRes.Bounds {
+		if !boundsClose(fastRes.Bounds[i], slowRes.Bounds[i]) {
+			t.Fatalf("conn %d: pooled engine bound %v, pre-overhaul %v", i, fastRes.Bounds[i], slowRes.Bounds[i])
+		}
+	}
+
+	minDur := func(f func()) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for round := 0; round < 2; round++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	measureAllocs := func(f func()) uint64 {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		f()
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	fast := minDur(func() {
+		if _, err := a.Analyze(net); err != nil {
+			t.Fatal(err)
+		}
+	})
+	slow := minDur(func() {
+		if _, err := preIntegratedAnalyze(a, net); err != nil {
+			t.Fatal(err)
+		}
+	})
+	fastAllocs := measureAllocs(func() {
+		if _, err := a.Analyze(net); err != nil {
+			t.Fatal(err)
+		}
+	})
+	slowAllocs := measureAllocs(func() {
+		if _, err := preIntegratedAnalyze(a, net); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := float64(slow) / float64(fast)
+	allocRatio := float64(slowAllocs) / float64(fastAllocs)
+	t.Logf("pooled %v (%d allocs), pre-overhaul %v (%d allocs): %.1fx time, %.1fx allocs",
+		fast, fastAllocs, slow, slowAllocs, ratio, allocRatio)
+	if ratio < 2 {
+		t.Errorf("fabric speedup %.1fx, want >= 2x", ratio)
+	}
+	if allocRatio < 10 {
+		t.Errorf("fabric alloc reduction %.1fx, want >= 10x", allocRatio)
+	}
+}
+
+// BenchmarkFabricAnalyze is the headline datacenter-scale benchmark: a
+// k=22 fat-tree — 10,648 link servers — crossed by 99,946 host flows.
+func BenchmarkFabricAnalyze(b *testing.B) {
+	net := fabricNet(b, 22, 413)
+	a := Integrated{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFabricAnalyzeK8 is the small-fabric smoke variant CI runs: 512
+// link servers, 640 flows.
+func BenchmarkFabricAnalyzeK8(b *testing.B) {
+	net := fabricNet(b, 8, 20)
+	a := Integrated{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Analyze(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -61,11 +62,13 @@ type stepCore interface {
 	// units returns the ordered partition of the normalized network.
 	units(net *topo.Network) ([]unitSpec, error)
 	// apply runs the unit's computation. ok=false degrades the whole
-	// analysis to +Inf, exactly as in the full pass. The context feeds the
+	// analysis to +Inf, exactly as in the full pass. idx is the network's
+	// ConnectionIndex, computed once per (trial) network by the driver so
+	// unit computations avoid per-server route scans. The context feeds the
 	// unit's internal cancellation checkpoints; after cancellation the
 	// outputs are meaningless and the caller must consult ctx.Err() before
 	// interpreting them.
-	apply(ctx context.Context, net *topo.Network, u unitSpec, p *propagation) (ok bool, err error)
+	apply(ctx context.Context, net *topo.Network, idx [][]int, u unitSpec, p *propagation) (ok bool, err error)
 }
 
 // unitSpec identifies one analysis unit by the servers it covers.
@@ -86,20 +89,24 @@ func (u unitSpec) key() string {
 }
 
 // crossing returns the indices of connections with a hop in the unit, in
-// increasing order.
-func (u unitSpec) crossing(net *topo.Network) []int {
+// increasing order, read off the network's precomputed ConnectionIndex
+// (the returned slice aliases it for single-server units; callers only
+// read it).
+func (u unitSpec) crossing(idx [][]int) []int {
+	if len(u.servers) == 1 {
+		return idx[u.servers[0]]
+	}
 	seen := make(map[int]bool)
 	var out []int
-	for i, c := range net.Connections {
-		for _, hop := range c.Path {
-			for _, s := range u.servers {
-				if hop == s && !seen[i] {
-					seen[i] = true
-					out = append(out, i)
-				}
+	for _, s := range u.servers {
+		for _, c := range idx[s] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
 			}
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -127,7 +134,9 @@ func recordUnit(u unitSpec, conns []int, p *propagation) *unitTrace {
 	}
 	for _, c := range conns {
 		t.post[c] = connTrace{
-			env:    p.env[c],
+			// The live envelope may sit in the propagation's recycled
+			// shift buffers; the trace outlives them, so detach it.
+			env:    p.env[c].Clone(),
 			delay:  p.delay[c],
 			next:   p.next[c],
 			stages: append([]Stage(nil), p.stage[c]...),
@@ -207,11 +216,12 @@ func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx := norm.ConnectionIndex()
 	p := newPropagation(norm)
 	for _, u := range units {
 		// Baselines are built uncancellable: a half-built baseline would
 		// poison every later Extend, so the build always runs to completion.
-		ok, err := core.apply(context.Background(), norm, u, p)
+		ok, err := core.apply(context.Background(), norm, idx, u, p)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +230,7 @@ func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
 			b.res = allInf(core.name(), norm)
 			return b, nil
 		}
-		b.trace[u.key()] = recordUnit(u, u.crossing(norm), p)
+		b.trace[u.key()] = recordUnit(u, u.crossing(idx), p)
 	}
 	b.res = p.result(core.name())
 	return b, nil
@@ -343,6 +353,7 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 	if err != nil {
 		return nil, err
 	}
+	idx := trial.ConnectionIndex()
 	p := newPropagation(trial)
 	candIdx := len(trial.Connections) - 1
 	dirty := map[int]bool{candIdx: true}
@@ -352,7 +363,7 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 		if canceled(ctx) {
 			return nil, ctxErr(ctx.Err())
 		}
-		conns := u.crossing(trial)
+		conns := u.crossing(idx)
 		old := b.trace[u.key()]
 		isDirty := old == nil
 		if !isDirty {
@@ -364,7 +375,7 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 			}
 		}
 		if isDirty {
-			ok, err := b.core.apply(ctx, trial, u, p)
+			ok, err := b.core.apply(ctx, trial, idx, u, p)
 			if err != nil {
 				return nil, err
 			}
@@ -484,6 +495,7 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 	if err != nil {
 		return nil, err
 	}
+	idx := trial.ConnectionIndex()
 	p := newPropagation(trial)
 	dirty := map[int]bool{}
 	stats := ExtendStats{}
@@ -492,7 +504,7 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 		if canceled(ctx) {
 			return nil, ctxErr(ctx.Err())
 		}
-		conns := u.crossing(trial)
+		conns := u.crossing(idx)
 		old := b.trace[u.key()]
 		isDirty := old == nil
 		if !isDirty {
@@ -512,7 +524,7 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 			}
 		}
 		if isDirty {
-			ok, err := b.core.apply(ctx, trial, u, p)
+			ok, err := b.core.apply(ctx, trial, idx, u, p)
 			if err != nil {
 				return nil, err
 			}
@@ -568,10 +580,14 @@ func (decomposedCore) units(net *topo.Network) ([]unitSpec, error) {
 	return units, nil
 }
 
-func (decomposedCore) apply(_ context.Context, net *topo.Network, u unitSpec, p *propagation) (bool, error) {
+func (decomposedCore) apply(_ context.Context, net *topo.Network, idx [][]int, u unitSpec, p *propagation) (bool, error) {
 	// One server is the unit of cancellation granularity here; the driver
-	// checks the context between units.
-	return decomposedServerStep(net, u.servers[0], p)
+	// checks the context between units. The pooled arena makes the replay
+	// loop reuse the same scratch slabs across units.
+	s := u.servers[0]
+	ar := minplus.GetArena()
+	defer ar.Release()
+	return decomposedServerStep(net, s, idx[s], p, ar)
 }
 
 // integratedCore adapts the integrated analysis: one unit per chain of the
@@ -607,6 +623,6 @@ func (ic integratedCore) units(net *topo.Network) ([]unitSpec, error) {
 	return units, nil
 }
 
-func (ic integratedCore) apply(ctx context.Context, net *topo.Network, u unitSpec, p *propagation) (bool, error) {
-	return analyzeChain(ctx, net, u.servers, p, ic.a.DeconvPropagation), nil
+func (ic integratedCore) apply(ctx context.Context, net *topo.Network, idx [][]int, u unitSpec, p *propagation) (bool, error) {
+	return analyzeChain(ctx, net, idx, u.servers, p, ic.a.DeconvPropagation), nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"delaycalc/internal/minplus"
@@ -141,10 +142,11 @@ func (a Integrated) AnalyzeContext(ctx context.Context, net *topo.Network) (*Res
 	if tm != nil {
 		tm.observe(&tm.Partition, partStart)
 	}
+	idx := net.ConnectionIndex()
 	p := newPropagation(net)
 	if a.Sequential {
 		for _, sn := range ordered {
-			ok := analyzeChain(ctx, net, sn.servers, p, a.DeconvPropagation)
+			ok := analyzeChain(ctx, net, idx, sn.servers, p, a.DeconvPropagation)
 			if err := ctx.Err(); err != nil {
 				return nil, ctxErr(err)
 			}
@@ -155,7 +157,7 @@ func (a Integrated) AnalyzeContext(ctx context.Context, net *topo.Network) (*Res
 	} else {
 		for _, level := range levels {
 			ok := analyzeLevel(level, func(sn subnetwork) bool {
-				return analyzeChain(ctx, net, sn.servers, p, a.DeconvPropagation)
+				return analyzeChain(ctx, net, idx, sn.servers, p, a.DeconvPropagation)
 			})
 			if err := ctx.Err(); err != nil {
 				return nil, ctxErr(err)
@@ -168,36 +170,67 @@ func (a Integrated) AnalyzeContext(ctx context.Context, net *topo.Network) (*Res
 	return denormalizeBacklogs(p.result("Integrated"), scale), nil
 }
 
+// subnetOwner maps every server to the index of its subnetwork. The
+// partition covers all servers, so the result is total.
+func subnetOwner(nServers int, subnets []subnetwork) []int {
+	owner := make([]int, nServers)
+	for i, sn := range subnets {
+		for _, s := range sn.servers {
+			owner[s] = i
+		}
+	}
+	return owner
+}
+
+// unitPairs collects the distinct cross-unit precedence edges
+// (owner[path[i]], owner[path[i+1]]) over all routes, sorted by (from,
+// to): one flat pair list instead of the per-unit successor maps the
+// ordering passes previously built.
+func unitPairs(net *topo.Network, owner []int) [][2]int {
+	n := 0
+	for _, c := range net.Connections {
+		n += len(c.Path) - 1
+	}
+	pairs := make([][2]int, 0, n)
+	for _, c := range net.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			u, v := owner[c.Path[i]], owner[c.Path[i+1]]
+			if u != v {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	w := 0
+	for i, p := range pairs {
+		if i == 0 || p != pairs[w-1] {
+			pairs[w] = p
+			w++
+		}
+	}
+	return pairs[:w]
+}
+
 // levelizeSubnetworks cuts a topologically ordered partition into
 // dependency levels: a chain's level is one past the deepest level among
 // the chains feeding it, so every chain of a level only depends on
 // earlier levels. Order within a level follows the input order, keeping
 // the grouping deterministic.
 func levelizeSubnetworks(net *topo.Network, ordered []subnetwork) [][]subnetwork {
-	owner := make(map[int]int, len(net.Servers))
-	for i, sn := range ordered {
-		for _, s := range sn.servers {
-			owner[s] = i
-		}
-	}
-	out := make([][]int, len(ordered)) // unit -> sorted distinct successor units
-	for _, c := range net.Connections {
-		for i := 0; i+1 < len(c.Path); i++ {
-			u, v := owner[c.Path[i]], owner[c.Path[i+1]]
-			if u != v {
-				out[u] = append(out[u], v)
-			}
-		}
-	}
+	owner := subnetOwner(len(net.Servers), ordered)
+	pairs := unitPairs(net, owner)
 	// ordered is topological, so every edge points from a smaller to a
-	// larger index: relaxing outgoing edges in index order computes the
-	// exact longest-path level in one pass.
+	// larger index: relaxing edges in ascending from-index order computes
+	// the exact longest-path level in one pass.
 	level := make([]int, len(ordered))
-	for u := range ordered {
-		for _, v := range out[u] {
-			if level[v] < level[u]+1 {
-				level[v] = level[u] + 1
-			}
+	for _, p := range pairs {
+		if level[p[1]] < level[p[0]]+1 {
+			level[p[1]] = level[p[0]] + 1
 		}
 	}
 	maxLevel := 0
@@ -221,13 +254,26 @@ func analyzeLevel(level []subnetwork, f func(subnetwork) bool) bool {
 		return f(level[0])
 	}
 	oks := make([]bool, len(level))
-	var wg sync.WaitGroup
-	wg.Add(len(level))
-	for i := range level {
-		go func(i int) {
+	workers := maxParallelWorkers()
+	if workers > len(level) {
+		workers = len(level)
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			oks[i] = f(level[i])
-		}(i)
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(level) {
+					return
+				}
+				oks[i] = f(level[i])
+			}
+		}()
 	}
 	wg.Wait()
 	for _, ok := range oks {
@@ -257,7 +303,8 @@ func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
 	}
 	maxLen := a.chainLength()
 	pt := newPartitioner(net)
-	used := make(map[int]bool, len(net.Servers))
+	rates := edgeThroughRates(net)
+	used := make([]bool, len(net.Servers))
 	var subnets []subnetwork
 	for _, u := range order {
 		if used[u] {
@@ -268,15 +315,15 @@ func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
 		unit := pt.newUnit(u)
 		for len(chain) < maxLen {
 			tail := chain[len(chain)-1]
-			next := a.bestSuccessor(net, tail, used)
+			next := a.bestSuccessor(rates, tail, used)
 			if next < 0 {
 				break
 			}
-			trial := append(append([]int(nil), chain...), next)
-			if !pt.extensionValid(trial, unit, next) {
+			pt.trial = append(append(pt.trial[:0], chain...), next)
+			if !pt.extensionValid(pt.trial, unit, next) {
 				break
 			}
-			chain = trial
+			chain = append(chain, next)
 			used[next] = true
 			pt.assign(unit, next)
 		}
@@ -285,26 +332,77 @@ func (a Integrated) partition(net *topo.Network) ([]subnetwork, error) {
 	return subnets, nil
 }
 
-// bestSuccessor picks the unused direct successor of tail with the largest
-// through-traffic rate above the ablation threshold, or -1.
-func (a Integrated) bestSuccessor(net *topo.Network, tail int, used map[int]bool) int {
-	through := make(map[int]float64)
+// edgeRate is one outgoing server edge with the total sustained rate of
+// the connections traversing it.
+type edgeRate struct {
+	to   int
+	rate float64
+}
+
+// edgeThroughRates sums, per consecutive-hop edge, the sustained rates of
+// the connections using it, in one pass over all routes; successors are
+// listed in ascending index. bestSuccessor reads this instead of
+// re-scanning every connection per chain tail, which made the partition
+// quadratic on fabric-scale networks. The accumulation sorts one flat
+// edge list and folds equal (from, to) entries in ascending connection
+// order — the same per-edge left-to-right addition order the previous
+// per-server maps performed, so the sums are bit-identical.
+func edgeThroughRates(net *topo.Network) [][]edgeRate {
+	type hopEdge struct {
+		from, to int
+		rho      float64
+	}
+	n := 0
+	for _, c := range net.Connections {
+		n += len(c.Path) - 1
+	}
+	edges := make([]hopEdge, 0, n)
 	for _, c := range net.Connections {
 		for i := 0; i+1 < len(c.Path); i++ {
-			if c.Path[i] == tail && !used[c.Path[i+1]] {
-				through[c.Path[i+1]] += c.Bucket.Rho
-			}
+			edges = append(edges, hopEdge{from: c.Path[i], to: c.Path[i+1], rho: c.Bucket.Rho})
 		}
 	}
-	best, bestRate := -1, a.MaxPairRate
-	keys := make([]int, 0, len(through))
-	for v := range through {
-		keys = append(keys, v)
+	// Stable keeps equal-key entries in connection order, preserving the
+	// float addition order of the map-based accumulation.
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	flat := make([]edgeRate, 0, len(edges))
+	out := make([][]edgeRate, len(net.Servers))
+	for i := 0; i < len(edges); {
+		u := edges[i].from
+		row := len(flat)
+		for i < len(edges) && edges[i].from == u {
+			e := edgeRate{to: edges[i].to, rate: edges[i].rho}
+			i++
+			for i < len(edges) && edges[i].from == u && edges[i].to == e.to {
+				e.rate += edges[i].rho
+				i++
+			}
+			flat = append(flat, e)
+		}
+		out[u] = flat[row:len(flat):len(flat)]
 	}
-	sort.Ints(keys)
-	for _, v := range keys {
-		if through[v] > bestRate {
-			best, bestRate = v, through[v]
+	return out
+}
+
+// bestSuccessor picks the unused direct successor of tail with the largest
+// through-traffic rate above the ablation threshold, or -1. Skipping used
+// successors at selection time is equivalent to the old per-call rescan
+// that filtered them during accumulation: an edge's rate sum never mixes
+// used and unused targets, and ascending-index iteration with a strict
+// comparison picks the same winner.
+func (a Integrated) bestSuccessor(rates [][]edgeRate, tail int, used []bool) int {
+	best, bestRate := -1, a.MaxPairRate
+	for _, e := range rates[tail] {
+		if used[e.to] {
+			continue
+		}
+		if e.rate > bestRate {
+			best, bestRate = e.to, e.rate
 		}
 	}
 	return best
@@ -323,30 +421,54 @@ type partitioner struct {
 	owner []int   // server -> unit id, -1 while an implicit singleton
 	units [][]int // unit id -> member servers
 
-	// Epoch-stamped DFS marks, reused across probes without clearing.
+	// Epoch-stamped DFS marks and stack, reused across probes without
+	// clearing (the stack grows to its high-water mark once).
 	unitMark   []int
 	serverMark []int
 	epoch      int
+	stack      []int
+	trial      []int // reusable extension-candidate chain buffer
 }
 
 func newPartitioner(net *topo.Network) *partitioner {
 	n := len(net.Servers)
-	succSet := make([]map[int]bool, n)
+	// Distinct route edges as one sorted, deduplicated flat pair list;
+	// per-server successor rows slice it (same sorted contents the
+	// per-server map construction produced).
+	cnt := 0
+	for _, c := range net.Connections {
+		cnt += len(c.Path) - 1
+	}
+	pairs := make([][2]int, 0, cnt)
 	for _, c := range net.Connections {
 		for i := 0; i+1 < len(c.Path); i++ {
-			u, v := c.Path[i], c.Path[i+1]
-			if succSet[u] == nil {
-				succSet[u] = make(map[int]bool)
-			}
-			succSet[u][v] = true
+			pairs = append(pairs, [2]int{c.Path[i], c.Path[i+1]})
 		}
 	}
-	succ := make([][]int, n)
-	for u, set := range succSet {
-		for v := range set {
-			succ[u] = append(succ[u], v)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
 		}
-		sort.Ints(succ[u])
+		return pairs[i][1] < pairs[j][1]
+	})
+	w := 0
+	for i, p := range pairs {
+		if i == 0 || p != pairs[w-1] {
+			pairs[w] = p
+			w++
+		}
+	}
+	pairs = pairs[:w]
+	flat := make([]int, len(pairs))
+	succ := make([][]int, n)
+	for i := 0; i < len(pairs); {
+		u := pairs[i][0]
+		row := i
+		for i < len(pairs) && pairs[i][0] == u {
+			flat[i] = pairs[i][1]
+			i++
+		}
+		succ[u] = flat[row:i:i]
 	}
 	owner := make([]int, n)
 	for i := range owner {
@@ -383,16 +505,18 @@ func (pt *partitioner) assign(id, s int) {
 // the pre-extension partition acyclic, the rebuilt partition has a cycle
 // iff the merged unit lies on one, iff the merged unit reaches itself.
 func (pt *partitioner) extensionValid(trial []int, unit, next int) bool {
-	pos := make(map[int]int, len(trial))
+	// A reversed traversal is a route edge u -> v with both endpoints in
+	// the trial chain and v earlier than u. The precomputed successor
+	// relation contains exactly the distinct route edges, so probing it
+	// from each trial member is equivalent to the old full scan over
+	// every connection's path. Trial chains are at most ChainLength long,
+	// so a linear position scan beats a map.
 	for i, s := range trial {
-		pos[s] = i
-	}
-	for _, c := range pt.net.Connections {
-		for i := 0; i+1 < len(c.Path); i++ {
-			pu, okU := pos[c.Path[i]]
-			pv, okV := pos[c.Path[i+1]]
-			if okU && okV && pv < pu {
-				return false
+		for _, t := range pt.succ[s] {
+			for j := 0; j < i; j++ {
+				if trial[j] == t {
+					return false
+				}
 			}
 		}
 	}
@@ -408,7 +532,8 @@ func (pt *partitioner) createsCycle(unit, next int) bool {
 	inMerged := func(s int) bool { return pt.owner[s] == unit || s == next }
 	// Stack of contracted nodes: unit ids as-is, singleton servers
 	// bit-complemented.
-	var stack []int
+	stack := pt.stack[:0]
+	defer func() { pt.stack = stack[:0] }()
 	push := func(t int) {
 		if u := pt.owner[t]; u >= 0 {
 			if pt.unitMark[u] != pt.epoch {
@@ -434,22 +559,26 @@ func (pt *partitioner) createsCycle(unit, next int) bool {
 		seed(s)
 	}
 	seed(next)
+	probe := func(s int) bool {
+		for _, t := range pt.succ[s] {
+			if inMerged(t) {
+				return true
+			}
+			push(t)
+		}
+		return false
+	}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		var servers []int
 		if n >= 0 {
-			servers = pt.units[n]
-		} else {
-			servers = []int{^n}
-		}
-		for _, s := range servers {
-			for _, t := range pt.succ[s] {
-				if inMerged(t) {
+			for _, s := range pt.units[n] {
+				if probe(s) {
 					return true
 				}
-				push(t)
 			}
+		} else if probe(^n) {
+			return true
 		}
 	}
 	return false
@@ -459,53 +588,39 @@ func (pt *partitioner) createsCycle(unit, next int) bool {
 // relation "some connection leaves subnetwork A and enters subnetwork B".
 // An error means the partition induces a cycle.
 func orderSubnetworks(net *topo.Network, subnets []subnetwork) ([]subnetwork, error) {
-	owner := make(map[int]int, len(net.Servers))
-	for i, sn := range subnets {
-		for _, s := range sn.servers {
-			owner[s] = i
-		}
+	owner := subnetOwner(len(net.Servers), subnets)
+	pairs := unitPairs(net, owner)
+	// Counting-sort offsets into the sorted pair list: unit u's out-edges
+	// are pairs[start[u]:start[u+1]].
+	start := make([]int, len(subnets)+1)
+	for _, p := range pairs {
+		start[p[0]+1]++
 	}
-	adj := make(map[int]map[int]bool)
-	for _, c := range net.Connections {
-		for i := 0; i+1 < len(c.Path); i++ {
-			a, b := owner[c.Path[i]], owner[c.Path[i+1]]
-			if a == b {
-				continue
-			}
-			if adj[a] == nil {
-				adj[a] = make(map[int]bool)
-			}
-			adj[a][b] = true
-		}
+	for u := 1; u <= len(subnets); u++ {
+		start[u] += start[u-1]
 	}
 	indeg := make([]int, len(subnets))
-	for _, outs := range adj {
-		for v := range outs {
-			indeg[v]++
-		}
+	for _, p := range pairs {
+		indeg[p[1]]++
 	}
-	var ready []int
+	ready := make(intMinHeap, 0, len(subnets))
 	for i := range subnets {
 		if indeg[i] == 0 {
-			ready = append(ready, i)
+			ready.push(i)
 		}
 	}
-	sort.Ints(ready)
-	var order []subnetwork
+	order := make([]subnetwork, 0, len(subnets))
 	for len(ready) > 0 {
-		u := ready[0]
-		ready = ready[1:]
+		u := ready.pop()
 		order = append(order, subnets[u])
-		var next []int
-		for v := range adj[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				next = append(next, v)
+		// Popping the global minimum each round reproduces the old
+		// sorted-queue order without its per-pop re-sort.
+		for _, p := range pairs[start[u]:start[u+1]] {
+			indeg[p[1]]--
+			if indeg[p[1]] == 0 {
+				ready.push(p[1])
 			}
 		}
-		sort.Ints(next)
-		ready = append(ready, next...)
-		sort.Ints(ready)
 	}
 	if len(order) != len(subnets) {
 		return nil, fmt.Errorf("analysis: subnetwork partition induces a cycle")
@@ -513,11 +628,101 @@ func orderSubnetworks(net *topo.Network, subnets []subnetwork) ([]subnetwork, er
 	return order, nil
 }
 
+// intMinHeap is a hand-rolled binary min-heap of unit indices backing the
+// ready queue of orderSubnetworks (the sort-after-every-pop queue it
+// replaces was quadratic on fabric-scale partitions).
+type intMinHeap []int
+
+func (h *intMinHeap) push(x int) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *intMinHeap) pop() int {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l] < s[m] {
+			m = l
+		}
+		if r < n && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
+}
+
 // run is a maximal consecutive interval of chain positions traversed by a
 // group of connections: the unit of joint analysis inside a chain.
 type run struct {
 	lo, hi int // inclusive chain positions
 	conns  []int
+}
+
+// resize returns s with length n, reusing its backing array when it is
+// large enough. Contents are unspecified; callers must fully assign every
+// element they read.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// chainScratch pools analyzeChain's per-chain bookkeeping — run headers,
+// the dense slot-indexed envelope tables, DP shift vectors and interval
+// memos — so a steady-state analysis reuses the same buffers for every
+// chain instead of rebuilding maps and slices per chain. Chains of one
+// level run concurrently; each invocation draws its own scratch from the
+// pool. Reused tables are either fully reassigned before use or only read
+// at indices the current chain provably wrote, so stale contents never
+// leak between chains.
+type chainScratch struct {
+	hdrs  []*run // grow-only header pool; member slices keep capacity
+	nHdrs int
+	runs  []*run
+	base  []int // runs[ri]'s members own slots base[ri]..base[ri]+len-1
+	// envBuf backs the per-position envelope rows: envAt[i] =
+	// envBuf[i*total : (i+1)*total], indexed by member slot.
+	envBuf []minplus.Curve
+	envAt  [][]minplus.Curve
+	prefix [][]float64 // per-slot DP shift vectors (values in chain arena)
+	local  []float64
+	ra     runAggregates
+	ib     intervalBounds
+}
+
+var chainScratchPool = sync.Pool{New: func() any { return new(chainScratch) }}
+
+// newRun hands out a reset run header from the grow-only pool. Headers are
+// allocated once and keep their member slice's capacity across chains.
+func (sc *chainScratch) newRun(lo, hi int) *run {
+	if sc.nHdrs == len(sc.hdrs) {
+		sc.hdrs = append(sc.hdrs, new(run))
+	}
+	r := sc.hdrs[sc.nHdrs]
+	sc.nHdrs++
+	r.lo, r.hi, r.conns = lo, hi, r.conns[:0]
+	return r
 }
 
 // analyzeChain performs the integrated analysis on one chain of servers.
@@ -542,49 +747,110 @@ type run struct {
 // early with arbitrary partial state in p, so callers must consult
 // ctx.Err() before interpreting the result. A Timings collector attached
 // to the context receives the chain's aggregate / theta / propagate time.
-func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propagation, deconv bool) bool {
+//
+// idx is the network's ConnectionIndex. Every intra-chain curve —
+// envelope shifts, run partial sums, residuals, theta-search scratch —
+// is drawn from one pooled arena owned by the chain and released on
+// return; only what outlives the chain (the propagation's envelopes and
+// stages) is heap-allocated. Chains of one level run concurrently, so the
+// arena is strictly chain-local, and the theta search's candidate
+// fan-outs use their own per-worker pool arenas.
+func analyzeChain(ctx context.Context, net *topo.Network, idx [][]int, chain []int, p *propagation, deconv bool) bool {
+	ar := minplus.GetArena()
+	defer ar.Release()
+	sc := chainScratchPool.Get().(*chainScratch)
+	defer chainScratchPool.Put(sc)
 	tm := timingsFrom(ctx)
-	pos := make(map[int]int, len(chain))
-	for i, s := range chain {
-		pos[s] = i
-	}
-	// Group connections into runs.
-	runIndex := map[[2]int]*run{}
-	var runs []*run
-	seen := map[int]bool{}
-	for _, s := range chain {
-		for _, c := range net.ConnectionsAt(s) {
-			if seen[c] {
-				continue
+	// Chains hold at most ChainLength servers, so position lookup is a
+	// linear scan instead of a per-chain map.
+	posOf := func(s int) int {
+		for i, cs := range chain {
+			if cs == s {
+				return i
 			}
-			seen[c] = true
+		}
+		return -1
+	}
+	// Group connections into runs. A connection is normally grouped
+	// exactly at the chain server its next unprocessed hop points to: the
+	// partition's acyclicity makes its chain crossing one contiguous path
+	// segment with strictly increasing chain positions, so the entry
+	// server is the first chain server it appears at and later servers of
+	// the crossing never match — no seen-set is needed. The exception is
+	// a connection whose next hop lies outside this chain (its previous
+	// run was cut short by a chain-position gap, leaving p.next pointing
+	// into an already-analyzed chain): the historical map-based grouping
+	// defaulted those to position 0 at the connection's first chain
+	// server, and that behavior is replicated verbatim — the bounds are
+	// pinned bitwise to the frozen reference engine.
+	sc.nHdrs = 0
+	runs := sc.runs[:0]
+	for i, s := range chain {
+		for _, c := range idx[s] {
 			path := net.Connections[c].Path
-			h := p.next[c] // subnet topological order guarantees path[h] is in this chain
-			lo := pos[path[h]]
+			h := p.next[c]
+			lo := posOf(path[h])
+			if lo != i {
+				if lo >= 0 {
+					continue // grouped at its entry server, not here
+				}
+				// Next hop outside the chain: group at the first chain
+				// server on the path, at default position 0.
+				first := true
+				for j := 0; j < i && first; j++ {
+					for _, q := range path {
+						if q == chain[j] {
+							first = false
+							break
+						}
+					}
+				}
+				if !first {
+					continue
+				}
+				lo = 0
+			}
 			hi := lo
 			for k := h + 1; k < len(path); k++ {
-				q, ok := pos[path[k]]
-				if !ok || q != hi+1 {
+				if q := posOf(path[k]); q != hi+1 {
 					break
 				}
-				hi = q
+				hi++
 			}
-			key := [2]int{lo, hi}
-			r, ok := runIndex[key]
-			if !ok {
-				r = &run{lo: lo, hi: hi}
-				runIndex[key] = r
+			var r *run
+			for _, q := range runs {
+				if q.lo == lo && q.hi == hi {
+					r = q
+					break
+				}
+			}
+			if r == nil {
+				r = sc.newRun(lo, hi)
 				runs = append(runs, r)
 			}
 			r.conns = append(r.conns, c)
 		}
 	}
-	sort.Slice(runs, func(i, j int) bool {
-		if runs[i].lo != runs[j].lo {
-			return runs[i].lo < runs[j].lo
+	// Insertion sort by (lo, hi). Intervals are distinct, so this is the
+	// exact order the previous sort.Slice produced, without its closure.
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && (runs[j].lo < runs[j-1].lo ||
+			(runs[j].lo == runs[j-1].lo && runs[j].hi < runs[j-1].hi)); j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
 		}
-		return runs[i].hi < runs[j].hi
-	})
+	}
+	sc.runs = runs
+	// Dense member slots replace the per-connection envelope and shift
+	// maps: run ri's members own slots base[ri]..base[ri]+len(conns)-1,
+	// and every consumer walks run memberships, so (ri, j) always
+	// identifies a slot without any lookup structure.
+	base := resize(sc.base, len(runs))
+	sc.base = base
+	total := 0
+	for ri, r := range runs {
+		base[ri] = total
+		total += len(r.conns)
+	}
 
 	// Delay per run: dynamic program over segmentations of the run's
 	// interval. For every subinterval [i, j] the bound B[i][j] applies to
@@ -607,7 +873,8 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 	// propagation and re-propagate with the DP prefix bounds: every
 	// iterate deforms envelopes by proven delay bounds, so every
 	// iteration is sound, and later iterations only tighten.
-	prefix := map[int][]float64{} // conn -> shift at each position of its run
+	prefix := resize(sc.prefix, total) // slot -> shift per run position
+	sc.prefix = prefix
 	var bounds *intervalBounds
 	// For chains of length <= 2 the DP prefix equals the local delay, so
 	// one pass suffices; longer chains benefit from re-propagation.
@@ -617,23 +884,29 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 	}
 	for iter := 0; iter < iters; iter++ {
 		aggStart := time.Now()
-		envAt := make([]map[int]minplus.Curve, len(chain)+1)
-		local := make([]float64, len(chain))
+		envAt := resize(sc.envAt, len(chain)+1)
+		sc.envAt = envAt
+		envBuf := resize(sc.envBuf, (len(chain)+1)*total)
+		sc.envBuf = envBuf
 		for i := range envAt {
-			envAt[i] = map[int]minplus.Curve{}
+			envAt[i] = envBuf[i*total : (i+1)*total]
 		}
-		for _, r := range runs {
-			for _, c := range r.conns {
+		local := resize(sc.local, len(chain))
+		sc.local = local
+		for ri, r := range runs {
+			b := base[ri]
+			for j, c := range r.conns {
 				for i := r.lo; i <= r.hi; i++ {
 					if iter > 0 {
-						envAt[i][c] = minplus.ShiftLeft(p.env[c], prefix[c][i-r.lo])
+						envAt[i][b+j] = ar.ShiftLeft(p.env[c], prefix[b+j][i-r.lo])
 					} else if i == r.lo {
-						envAt[i][c] = p.env[c]
+						envAt[i][b+j] = p.env[c]
 					}
 				}
 			}
 		}
-		ra := newRunAggregates(len(chain), runs)
+		ra := &sc.ra
+		ra.init(ar, len(chain), runs, base)
 		for i := range chain {
 			if canceled(ctx) {
 				return false
@@ -650,10 +923,11 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 			}
 			if iter == 0 {
 				// Initial decomposed-style propagation.
-				for _, r := range runs {
+				for ri, r := range runs {
 					if r.lo <= i && i < r.hi {
-						for _, c := range r.conns {
-							envAt[i+1][c] = minplus.ShiftLeft(envAt[i][c], local[i])
+						b := base[ri]
+						for j := range r.conns {
+							envAt[i+1][b+j] = ar.ShiftLeft(envAt[i][b+j], local[i])
 						}
 					}
 				}
@@ -663,18 +937,24 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 			tm.observe(&tm.Aggregate, aggStart)
 		}
 		thetaStart := time.Now()
-		bounds = newIntervalBounds(ctx, net, chain, runs, ra, envAt, local)
-		// Record the DP prefix bounds as the next iteration's shifts.
-		for _, r := range runs {
+		bounds = &sc.ib
+		bounds.init(ctx, ar, net, chain, runs, ra, envAt, base, local)
+		// Record the DP prefix bounds as the next iteration's shifts. The
+		// shift vector is identical for every member of a run, so one
+		// arena-backed vector per run is shared by all its slots.
+		for ri, r := range runs {
 			if canceled(ctx) {
 				return false
 			}
-			for _, c := range r.conns {
-				shifts := make([]float64, r.hi-r.lo+1)
-				for i := r.lo + 1; i <= r.hi; i++ {
-					shifts[i-r.lo] = bounds.best(r.lo, i-1)
-				}
-				prefix[c] = shifts
+			n := r.hi - r.lo + 1
+			shifts := ar.Floats(n)[:n]
+			shifts[0] = 0 // arena memory is not zeroed
+			for i := r.lo + 1; i <= r.hi; i++ {
+				shifts[i-r.lo] = bounds.best(r.lo, i-1)
+			}
+			b := base[ri]
+			for j := range r.conns {
+				prefix[b+j] = shifts
 			}
 		}
 		if tm != nil {
@@ -697,7 +977,7 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 		propStart := time.Now()
 		var excl *runExclSums
 		if deconv && r.hi > r.lo {
-			excl = newRunExclSums(bounds, ri)
+			excl = newRunExclSums(ar, bounds, ri)
 		}
 		for mi, c := range r.conns {
 			entry := p.env[c]
@@ -705,7 +985,7 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 				return false
 			}
 			if excl != nil {
-				refined := deconvOutput(net, chain, r, mi, entry, excl)
+				refined := deconvOutput(ar, net, chain, r, mi, entry, excl)
 				if refined != nil {
 					p.env[c] = minplus.Min(p.env[c], *refined)
 				}
@@ -723,7 +1003,8 @@ func analyzeChain(ctx context.Context, net *topo.Network, chain []int, p *propag
 // plus prefix/suffix sums over the run's own members, so excluding one
 // member is a 3-way sum instead of a fold over all other connections.
 type runExclSums struct {
-	r *run
+	ar *minplus.Arena // owning chain's arena; all sums are chain-local
+	r  *run
 	// others[i-lo] sums the partials of every other run present at i.
 	others []minplus.Curve
 	// pre[i-lo][j] sums members 0..j-1 at position i; suf[i-lo][j] sums
@@ -731,16 +1012,18 @@ type runExclSums struct {
 	pre, suf [][]minplus.Curve
 }
 
-func newRunExclSums(ib *intervalBounds, ri int) *runExclSums {
+func newRunExclSums(ar *minplus.Arena, ib *intervalBounds, ri int) *runExclSums {
 	r := ib.runs[ri]
 	n := r.hi - r.lo + 1
 	m := len(r.conns)
 	ex := &runExclSums{
+		ar:     ar,
 		r:      r,
 		others: make([]minplus.Curve, n),
 		pre:    make([][]minplus.Curve, n),
 		suf:    make([][]minplus.Curve, n),
 	}
+	b := ib.base[ri]
 	for i := r.lo; i <= r.hi; i++ {
 		rel := i - r.lo
 		curves := make([]minplus.Curve, 0, len(ib.runs))
@@ -749,16 +1032,16 @@ func newRunExclSums(ib *intervalBounds, ri int) *runExclSums {
 				curves = append(curves, ib.ra.partial[i][rj])
 			}
 		}
-		ex.others[rel] = minplus.SumN(curves...)
+		ex.others[rel] = ar.SumNSlice(curves)
 		pre := make([]minplus.Curve, m+1)
 		suf := make([]minplus.Curve, m+1)
 		pre[0] = minplus.Zero()
 		for j := 0; j < m; j++ {
-			pre[j+1] = minplus.Add(pre[j], ib.envAt[i][r.conns[j]])
+			pre[j+1] = ar.Add(pre[j], ib.envAt[i][b+j])
 		}
 		suf[m] = minplus.Zero()
 		for j := m - 1; j >= 0; j-- {
-			suf[j] = minplus.Add(suf[j+1], ib.envAt[i][r.conns[j]])
+			suf[j] = ar.Add(suf[j+1], ib.envAt[i][b+j])
 		}
 		ex.pre[rel] = pre
 		ex.suf[rel] = suf
@@ -770,7 +1053,7 @@ func newRunExclSums(ib *intervalBounds, ri int) *runExclSums {
 // except member mi.
 func (ex *runExclSums) crossWithout(i, mi int) minplus.Curve {
 	rel := i - ex.r.lo
-	return minplus.SumN(ex.others[rel], ex.pre[rel][mi], ex.suf[rel][mi+1])
+	return ex.ar.SumN(ex.others[rel], ex.pre[rel][mi], ex.suf[rel][mi+1])
 }
 
 // deconvOutput computes the per-flow deconvolution envelope of run member
@@ -779,15 +1062,17 @@ func (ex *runExclSums) crossWithout(i, mi int) minplus.Curve {
 // curve), their convolution is a valid end-to-end service curve for it
 // over the run, and the deconvolution of its entry envelope out of it is
 // a valid output envelope. Returns nil when the residual leaves the
-// member no guaranteed rate.
-func deconvOutput(net *topo.Network, chain []int, r *run, mi int, entry minplus.Curve, ex *runExclSums) *minplus.Curve {
+// member no guaranteed rate. The residual convolution is chain-arena
+// scratch; the returned deconvolution is heap-allocated because the
+// caller folds it into the propagation, which outlives the chain.
+func deconvOutput(ar *minplus.Arena, net *topo.Network, chain []int, r *run, mi int, entry minplus.Curve, ex *runExclSums) *minplus.Curve {
 	beta := minplus.Curve{}
 	for i := r.lo; i <= r.hi; i++ {
-		res := FIFOResidual(net.Servers[chain[i]].Capacity, ex.crossWithout(i, mi), 0)
+		res := fifoResidual(ar, net.Servers[chain[i]].Capacity, ex.crossWithout(i, mi), 0)
 		if i == r.lo {
 			beta = res
 		} else {
-			beta = minplus.ConvolveGated(beta, res)
+			beta = ar.ConvolveGated(beta, res)
 		}
 	}
 	if beta.FinalSlope() <= entry.FinalSlope() {
@@ -801,32 +1086,42 @@ func deconvOutput(net *topo.Network, chain []int, r *run, mi int, entry minplus.
 }
 
 // intervalBounds lazily computes and memoizes the direct bound B[i][j] and
-// the segmented optimum D[i][j] for chain intervals.
+// the segmented optimum D[i][j] for chain intervals. The memos are dense
+// L*L tables (L = chain length, key lo*L+hi) with NaN marking unset
+// entries — every stored bound is finite: local delays were checked
+// against +Inf before the DP runs, and every interval bound is clamped by
+// its decomposed sum of local delays.
 type intervalBounds struct {
 	ctx    context.Context // cancellation for the theta searches it spawns
+	ar     *minplus.Arena  // owning chain's arena for interval scratch
 	net    *topo.Network
 	chain  []int
 	runs   []*run
 	ra     *runAggregates
-	envAt  []map[int]minplus.Curve
+	envAt  [][]minplus.Curve
+	base   []int
 	local  []float64
-	direct map[[2]int]float64
-	opt    map[[2]int]float64
+	direct []float64
+	opt    []float64
 }
 
-func newIntervalBounds(ctx context.Context, net *topo.Network, chain []int, runs []*run, ra *runAggregates, envAt []map[int]minplus.Curve, local []float64) *intervalBounds {
-	return &intervalBounds{
-		ctx: ctx, net: net, chain: chain, runs: runs, ra: ra, envAt: envAt, local: local,
-		direct: map[[2]int]float64{},
-		opt:    map[[2]int]float64{},
+func (ib *intervalBounds) init(ctx context.Context, ar *minplus.Arena, net *topo.Network, chain []int, runs []*run, ra *runAggregates, envAt [][]minplus.Curve, base []int, local []float64) {
+	ib.ctx, ib.ar, ib.net, ib.chain = ctx, ar, net, chain
+	ib.runs, ib.ra, ib.envAt, ib.base, ib.local = runs, ra, envAt, base, local
+	n := len(chain) * len(chain)
+	ib.direct = resize(ib.direct, n)
+	ib.opt = resize(ib.opt, n)
+	for i := range ib.direct {
+		ib.direct[i] = math.NaN()
+		ib.opt[i] = math.NaN()
 	}
 }
 
 // best returns D[lo][hi], the cheapest bound for traversing chain
 // positions lo..hi as part of a covering aggregate.
 func (ib *intervalBounds) best(lo, hi int) float64 {
-	key := [2]int{lo, hi}
-	if d, ok := ib.opt[key]; ok {
+	key := lo*len(ib.chain) + hi
+	if d := ib.opt[key]; !math.IsNaN(d) {
 		return d
 	}
 	d := ib.directBound(lo, hi)
@@ -846,11 +1141,11 @@ func (ib *intervalBounds) directBound(lo, hi int) float64 {
 	if lo == hi {
 		return ib.local[lo]
 	}
-	key := [2]int{lo, hi}
-	if d, ok := ib.direct[key]; ok {
+	key := lo*len(ib.chain) + hi
+	if d := ib.direct[key]; !math.IsNaN(d) {
 		return d
 	}
-	d := runIntervalBound(ib.ctx, ib.net, ib.chain, lo, hi, ib.ra, ib.local)
+	d := runIntervalBound(ib.ctx, ib.ar, ib.net, ib.chain, lo, hi, ib.ra, ib.local)
 	ib.direct[key] = d
 	return d
 }
@@ -863,12 +1158,12 @@ func (ib *intervalBounds) directBound(lo, hi int) float64 {
 // two servers, coordinate descent for longer intervals — every
 // evaluation is a valid bound, so any search strategy is sound), clamped
 // by the decomposed sum of local delays.
-func runIntervalBound(ctx context.Context, net *topo.Network, chain []int, lo, hi int, ra *runAggregates, local []float64) float64 {
+func runIntervalBound(ctx context.Context, ar *minplus.Arena, net *topo.Network, chain []int, lo, hi int, ra *runAggregates, local []float64) float64 {
 	agg := ra.covering(lo, lo, hi)
 
 	k := hi - lo + 1
-	cross := make([]minplus.Curve, k)
-	caps := make([]float64, k)
+	cross := ar.Curves(k)[:k]
+	caps := ar.Floats(k)[:k]
 	cands := make([][]float64, k)
 	lat := 0.0
 	decomposedSum := 0.0
@@ -879,15 +1174,16 @@ func runIntervalBound(ctx context.Context, net *topo.Network, chain []int, lo, h
 		lat += srv.Latency
 		decomposedSum += local[posIdx]
 		cross[i] = ra.crossAt(posIdx, lo, hi)
-		cands[i] = thetaCandidates(caps[i], cross[i], local[posIdx])
+		cands[i] = thetaCandidatesArena(ar, caps[i], cross[i], local[posIdx])
 	}
 
 	ts := &thetaSearch{
 		ctx:   ctx,
 		agg:   agg,
 		cands: cands,
+		ar:    ar,
 		residual: func(i int, theta float64) minplus.Curve {
-			return FIFOResidual(caps[i], cross[i], theta)
+			return fifoResidual(ar, caps[i], cross[i], theta)
 		},
 	}
 	best := ts.minimize() + lat

@@ -18,26 +18,44 @@ import (
 // latency; every member of the family yields a sound bound, so optimizing
 // over a finite candidate set of thetas is always safe.
 func FIFOResidual(capacity float64, alphaCross minplus.Curve, theta float64) minplus.Curve {
-	raw := minplus.PositivePart(minplus.Sub(minplus.Rate(capacity), minplus.Delay(alphaCross, theta)))
+	return fifoResidual(nil, capacity, alphaCross, theta)
+}
+
+// fifoResidual is FIFOResidual with the intermediate and result curves
+// drawn from the arena (heap when ar is nil). The hot analysis paths build
+// residual families per theta candidate; keeping them arena-backed keeps
+// the steady-state search allocation-free.
+func fifoResidual(ar *minplus.Arena, capacity float64, alphaCross minplus.Curve, theta float64) minplus.Curve {
+	raw := ar.PositivePart(ar.Sub(minplus.Rate(capacity), ar.Delay(alphaCross, theta)))
 	if !raw.IsNonDecreasing() {
-		raw = minplus.MonotoneClosure(raw)
+		raw = ar.MonotoneClosure(raw)
 	}
-	return minplus.ZeroUntil(raw, theta)
+	return ar.ZeroUntil(raw, theta)
 }
 
 // thetaCandidates proposes a finite set of theta parameters for the
 // residual family at a server of the given capacity with the given cross
 // envelope: structural values derived from the cross curve's breakpoints
 // (where the optimum of piecewise-linear problems lives) plus a geometric
-// sweep up to the server's busy-period scale.
+// sweep up to the server's busy-period scale. The result is sorted and
+// exact-duplicate-free — the same set the previous map-based construction
+// produced, without the map or the breakpoint copy.
 func thetaCandidates(capacity float64, cross minplus.Curve, scale float64) []float64 {
-	set := map[float64]bool{0: true}
+	return thetaCandidatesArena(nil, capacity, cross, scale)
+}
+
+// thetaCandidatesArena is thetaCandidates with the candidate list drawn
+// from the arena (heap when ar is nil), for the hot chain-analysis path.
+func thetaCandidatesArena(ar *minplus.Arena, capacity float64, cross minplus.Curve, scale float64) []float64 {
+	out := ar.Floats(2*cross.NumPoints() + 10)
+	out = append(out, 0)
 	add := func(v float64) {
 		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
-			set[v] = true
+			out = append(out, v)
 		}
 	}
-	for _, p := range cross.Points() {
+	for i := 0; i < cross.NumPoints(); i++ {
+		p := cross.PointAt(i)
 		add(p.X)
 		add(p.Y / capacity)
 	}
@@ -48,13 +66,16 @@ func thetaCandidates(capacity float64, cross minplus.Curve, scale float64) []flo
 			add(scale * float64(k) / 8)
 		}
 	}
-	out := make([]float64, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
 	// Sorted so that downstream search strategies (coordinate descent on
 	// long chains) visit candidates in a deterministic order; the pair
 	// enumeration is order-independent either way.
 	sort.Float64s(out)
-	return out
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
 }

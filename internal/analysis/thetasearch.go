@@ -52,26 +52,44 @@ type thetaSearch struct {
 	agg      minplus.Curve
 	cands    [][]float64
 	residual func(pos int, theta float64) minplus.Curve
+	// ar is the owning chain's arena (nil for heap allocation): residual
+	// curves, decompositions and prefix/suffix convolutions are drawn from
+	// it. The arena is not goroutine-safe, so everything built from it is
+	// built sequentially before a candidate fan-out; the parallel workers
+	// only read those curves and allocate from their own pooled arenas.
+	ar *minplus.Arena
 
-	res [][]*minplus.Curve // memoized residuals per (position, candidate)
+	// res memoizes residuals per (position, candidate) by value, rows
+	// drawn from the chain arena. The zero Curve marks an unset slot:
+	// both residual families (FIFO constant-rate, static-priority
+	// rate-latency) have strictly positive final slope under stability,
+	// so a genuine residual is never the zero curve (if one ever were,
+	// the memo would merely recompute it — still correct).
+	res [][]minplus.Curve
 }
 
 // residualAt returns the memoized residual of candidate ci at position i.
 func (ts *thetaSearch) residualAt(i, ci int) minplus.Curve {
-	if ts.res[i][ci] == nil {
-		c := ts.residual(i, ts.cands[i][ci])
-		ts.res[i][ci] = &c
+	c := ts.res[i][ci]
+	if c.NumPoints() == 0 && c.FinalSlope() == 0 {
+		c = ts.residual(i, ts.cands[i][ci])
+		ts.res[i][ci] = c
 	}
-	return *ts.res[i][ci]
+	return c
 }
 
 // minimize returns the minimal horizontal deviation over the candidate
 // grid (full enumeration for k = 2, coordinate descent otherwise).
 func (ts *thetaSearch) minimize() float64 {
 	k := len(ts.cands)
-	ts.res = make([][]*minplus.Curve, k)
+	ts.res = make([][]minplus.Curve, k)
 	for i := range ts.res {
-		ts.res[i] = make([]*minplus.Curve, len(ts.cands[i]))
+		n := len(ts.cands[i])
+		row := ts.ar.Curves(n)[:n]
+		for j := range row {
+			row[j] = minplus.Curve{} // arena memory is not zeroed
+		}
+		ts.res[i] = row
 	}
 	if k == 2 {
 		return ts.enumeratePairs()
@@ -105,7 +123,7 @@ func (ts *thetaSearch) enumeratePairs() float64 {
 	parts := [2][]part{make([]part, n0), make([]part, n1)}
 	for i := 0; i < 2 && fast; i++ {
 		for ci := range ts.cands[i] {
-			dec, ok := minplus.DecomposeGatedConvex(ts.residualAt(i, ci))
+			dec, ok := ts.ar.DecomposeGatedConvex(ts.residualAt(i, ci))
 			if !ok {
 				fast = false
 				break
@@ -116,19 +134,19 @@ func (ts *thetaSearch) enumeratePairs() float64 {
 	if fast && ts.aggRisesImmediately() {
 		for i := 0; i < 2; i++ {
 			for ci := range ts.cands[i] {
-				chi := minplus.ShiftLeft(ts.residualAt(i, ci), parts[i][ci].dec.Gate)
+				chi := ts.ar.ShiftLeft(ts.residualAt(i, ci), parts[i][ci].dec.Gate)
 				parts[i][ci].hd = minplus.HorizontalDeviation(ts.agg, chi)
 			}
 		}
-		return parallelMin(ts.ctx, n0*n1, func(idx int) float64 {
+		return parallelMinArena(ts.ctx, n0*n1, func(wa *minplus.Arena, idx int) float64 {
 			a, b := &parts[0][idx/n1], &parts[1][idx%n1]
-			w := minplus.ConvolveConvexParts(a.dec, b.dec)
+			w := wa.ConvolveConvexParts(a.dec, b.dec)
 			hd := math.Max(math.Max(a.hd, b.hd), minplus.HorizontalDeviation(ts.agg, w))
 			return a.dec.Gate + b.dec.Gate + hd
 		})
 	}
-	return parallelMin(ts.ctx, n0*n1, func(idx int) float64 {
-		beta := minplus.Convolve(ts.residualAt(0, idx/n1), ts.residualAt(1, idx%n1))
+	return parallelMinArena(ts.ctx, n0*n1, func(wa *minplus.Arena, idx int) float64 {
+		beta := wa.Convolve(ts.residualAt(0, idx/n1), ts.residualAt(1, idx%n1))
 		return minplus.HorizontalDeviation(ts.agg, beta)
 	})
 }
@@ -149,7 +167,7 @@ func (ts *thetaSearch) coordinateDescent() float64 {
 		}
 		beta := ts.residualAt(0, v[0])
 		for i := 1; i < k; i++ {
-			beta = minplus.Convolve(beta, ts.residualAt(i, v[i]))
+			beta = ts.ar.Convolve(beta, ts.residualAt(i, v[i]))
 		}
 		d := minplus.HorizontalDeviation(ts.agg, beta)
 		seen[key] = d
@@ -162,6 +180,12 @@ func (ts *thetaSearch) coordinateDescent() float64 {
 			if canceled(ts.ctx) {
 				return best
 			}
+			// Build every residual of the scanned coordinate before the
+			// fan-out: residualAt writes the chain arena and the memo
+			// table, which the parallel workers may only read.
+			for ci := range ts.cands[i] {
+				ts.residualAt(i, ci)
+			}
 			// Convolve the fixed prefix and suffix once; min-plus
 			// convolution is associative, so prefix ⊗ res_i ⊗ suffix is
 			// the same curve as the left fold.
@@ -169,36 +193,43 @@ func (ts *thetaSearch) coordinateDescent() float64 {
 			if i > 0 {
 				b := ts.residualAt(0, idx[0])
 				for j := 1; j < i; j++ {
-					b = minplus.Convolve(b, ts.residualAt(j, idx[j]))
+					b = ts.ar.Convolve(b, ts.residualAt(j, idx[j]))
 				}
 				pre = &b
 			}
 			if i+1 < k {
 				b := ts.residualAt(i+1, idx[i+1])
 				for j := i + 2; j < k; j++ {
-					b = minplus.Convolve(b, ts.residualAt(j, idx[j]))
+					b = ts.ar.Convolve(b, ts.residualAt(j, idx[j]))
 				}
 				suf = &b
 			}
-			evalCand := func(ci int) float64 {
+			// evalCand runs concurrently: it only reads seen (no concurrent
+			// writes happen during the fan-out), and a memo miss recomputes
+			// the pure evaluation — the identical value the serial code
+			// would have cached.
+			evalCand := func(wa *minplus.Arena, ci int) float64 {
 				v := append([]int(nil), idx...)
 				v[i] = ci
-				key := vecKey(v)
-				if d, ok := seen[key]; ok {
+				if d, ok := seen[vecKey(v)]; ok {
 					return d
 				}
 				beta := ts.residualAt(i, ci)
 				if pre != nil {
-					beta = minplus.Convolve(*pre, beta)
+					beta = wa.Convolve(*pre, beta)
 				}
 				if suf != nil {
-					beta = minplus.Convolve(beta, *suf)
+					beta = wa.Convolve(beta, *suf)
 				}
-				d := minplus.HorizontalDeviation(ts.agg, beta)
-				seen[key] = d
-				return d
+				return minplus.HorizontalDeviation(ts.agg, beta)
 			}
-			vals := parallelValues(ts.ctx, len(ts.cands[i]), evalCand)
+			vals := parallelValuesArena(ts.ctx, len(ts.cands[i]), evalCand)
+			// Persist the scan's evaluations into the memo sequentially.
+			wb := append([]int(nil), idx...)
+			for ci := range ts.cands[i] {
+				wb[i] = ci
+				seen[vecKey(wb)] = vals[ci]
+			}
 			bestHere := idx[i]
 			for ci := range ts.cands[i] {
 				if ci == bestHere {

@@ -81,6 +81,22 @@ func DefaultMatrix() ([]Scenario, error) {
 		}
 	}
 	{
+		// The smallest fat-tree (k=2: 8 link servers) with two hosts per
+		// edge switch, so uplinks and core downlinks genuinely multiplex.
+		net, err := topo.FatTree(2, 2, 0.5)
+		if err := add("fattree2", net, err, 8); err != nil {
+			return nil, err
+		}
+	}
+	{
+		// The k=4 folded Clos: 64 link servers, 16 host flows hashed
+		// across two aggregation and four core choices.
+		net, err := topo.Clos(4, 0.6)
+		if err := add("clos4", net, err, 8); err != nil {
+			return nil, err
+		}
+	}
+	{
 		f := topo.LineFabric(4, 1, server.FIFO)
 		net, err := f.Network([]topo.Demand{
 			fabricDemand("fwd", "n0", "n3"),

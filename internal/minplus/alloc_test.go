@@ -1,0 +1,78 @@
+package minplus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state allocation ceilings for the hot-path operations. These are
+// regression gates, not aspirations: the arena variants must stay
+// allocation-free once the arena is warm, and the heap variants must not
+// regress past the small constant they allocate today. A failure here
+// means a change reintroduced per-call heap traffic into the analysis
+// inner loops.
+
+// sumNMixedWorkload is the BenchmarkSumNMixed input: 64 random
+// piecewise-linear curves.
+func sumNMixedWorkload() []Curve {
+	rng := rand.New(rand.NewSource(7))
+	curves := make([]Curve, 64)
+	for i := range curves {
+		curves[i] = genCurve(rng)
+	}
+	return curves
+}
+
+func TestSumNAllocCeiling(t *testing.T) {
+	curves := sumNMixedWorkload()
+	heap := testing.AllocsPerRun(10, func() { SumN(curves...) })
+	t.Logf("SumN heap allocs/op: %.0f", heap)
+	if heap > 4 {
+		t.Errorf("SumN allocates %.0f times on the mixed workload, ceiling is 4", heap)
+	}
+
+	ar := GetArena()
+	defer ar.Release()
+	ar.SumNSlice(curves) // warm the arena to its high-water mark
+	arena := testing.AllocsPerRun(10, func() {
+		ar.Reset()
+		ar.SumNSlice(curves)
+	})
+	t.Logf("Arena.SumNSlice allocs/op: %.0f", arena)
+	if arena > 0 {
+		t.Errorf("Arena.SumNSlice allocates %.0f times on a warm arena, ceiling is 0", arena)
+	}
+}
+
+func TestConvolveGatedAllocCeiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fs := make([]Curve, 16)
+	for i := range fs {
+		fs[i] = genGatedConvex(rng).Curve()
+	}
+	heap := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 16; i++ {
+			ConvolveGated(fs[i], fs[(i+7)%16])
+		}
+	})
+	t.Logf("ConvolveGated heap allocs/op (16 pairs): %.0f", heap)
+	if heap > 16*16 {
+		t.Errorf("ConvolveGated allocates %.0f times over 16 pairs, ceiling is %d", heap, 16*16)
+	}
+
+	ar := GetArena()
+	defer ar.Release()
+	for i := 0; i < 16; i++ { // warm the arena to its high-water mark
+		ar.ConvolveGated(fs[i], fs[(i+7)%16])
+	}
+	arena := testing.AllocsPerRun(10, func() {
+		ar.Reset()
+		for i := 0; i < 16; i++ {
+			ar.ConvolveGated(fs[i], fs[(i+7)%16])
+		}
+	})
+	t.Logf("Arena.ConvolveGated allocs/op (16 pairs): %.0f", arena)
+	if arena > 0 {
+		t.Errorf("Arena.ConvolveGated allocates %.0f times on a warm arena, ceiling is 0", arena)
+	}
+}

@@ -28,7 +28,7 @@ func Compose(f, g Curve) Curve {
 	} else {
 		tail = f.slope * g.slope
 	}
-	return fromEvaluator(ts, eval, tail)
+	return fromEvaluator(nil, ts, eval, tail)
 }
 
 // LowerInverseAtBounded is LowerInverseAt extended to bounded curves: it

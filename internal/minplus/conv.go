@@ -23,32 +23,41 @@ import "fmt"
 // below the true convolution because f and g are non-decreasing. Pointwise
 // Min with crossing detection then yields the exact envelope, including
 // breakpoints that are not sums of operand breakpoints.
-func Convolve(f, g Curve) Curve {
+func Convolve(f, g Curve) Curve { return convolve(nil, f, g) }
+
+// Convolve is the arena variant of the package-level Convolve.
+func (a *Arena) Convolve(f, g Curve) Curve { return convolve(a, f, g) }
+
+func convolve(ar *Arena, f, g Curve) Curve {
 	f.mustValid()
 	g.mustValid()
 	if !f.IsNonDecreasing() || !g.IsNonDecreasing() {
 		panic("minplus: Convolve requires non-decreasing curves")
 	}
-	branches := make([]Curve, 0, 2*(len(f.pts)+len(g.pts)))
+	branches := ar.curves(2 * (len(f.pts) + len(g.pts)))
 	addPivots := func(outer, inner Curve) {
-		for _, a := range outer.xBreaks() {
-			vals := []float64{outer.Eval(a)}
-			if r := outer.EvalRight(a); !almostEqual(r, vals[0]) {
-				vals = append(vals, r)
+		pts := outer.pts
+		for i, p := range pts {
+			if i > 0 && almostEqual(p.X, pts[i-1].X) {
+				continue
 			}
-			for _, v := range vals {
-				branches = append(branches, VShift(Delay(inner, a), v))
+			a := p.X
+			v0 := outer.Eval(a)
+			shifted := delay(ar, inner, a)
+			branches = append(branches, vshift(ar, shifted, v0))
+			if r := outer.EvalRight(a); !almostEqual(r, v0) {
+				branches = append(branches, vshift(ar, shifted, r))
 			}
 		}
 	}
 	addPivots(f, g)
 	addPivots(g, f)
-	return reduceEnvelope(branches, Min)
+	return reduceEnvelope(ar, branches, (*Arena).Min)
 }
 
 // reduceEnvelope folds curves with op using a balanced reduction to keep
 // intermediate breakpoint counts low.
-func reduceEnvelope(curves []Curve, op func(Curve, Curve) Curve) Curve {
+func reduceEnvelope(ar *Arena, curves []Curve, op func(*Arena, Curve, Curve) Curve) Curve {
 	if len(curves) == 0 {
 		return Zero()
 	}
@@ -56,7 +65,7 @@ func reduceEnvelope(curves []Curve, op func(Curve, Curve) Curve) Curve {
 		next := curves[:0]
 		for i := 0; i < len(curves); i += 2 {
 			if i+1 < len(curves) {
-				next = append(next, op(curves[i], curves[i+1]))
+				next = append(next, op(ar, curves[i], curves[i+1]))
 			} else {
 				next = append(next, curves[i])
 			}
@@ -75,7 +84,12 @@ func reduceEnvelope(curves []Curve, op func(Curve, Curve) Curve) Curve {
 // if the supremum is infinite (f grows faster than g, i.e. the server is
 // unstable for this input). Like Convolve, the result is the exact upper
 // envelope of branch curves pivoted at operand breakpoints.
-func Deconvolve(f, g Curve) (Curve, error) {
+func Deconvolve(f, g Curve) (Curve, error) { return deconvolve(nil, f, g) }
+
+// Deconvolve is the arena variant of the package-level Deconvolve.
+func (a *Arena) Deconvolve(f, g Curve) (Curve, error) { return deconvolve(a, f, g) }
+
+func deconvolve(ar *Arena, f, g Curve) (Curve, error) {
 	f.mustValid()
 	g.mustValid()
 	if !f.IsNonDecreasing() || !g.IsNonDecreasing() {
@@ -84,39 +98,50 @@ func Deconvolve(f, g Curve) (Curve, error) {
 	if f.slope > g.slope+Eps {
 		return Curve{}, fmt.Errorf("minplus: deconvolution diverges: arrival slope %g exceeds service slope %g", f.slope, g.slope)
 	}
-	var branches []Curve
+	branches := ar.curves(2 * (len(f.pts) + len(g.pts)))
 	// Branches pivoted at breakpoints b of g: t -> f(t+b) - g(b).
-	for _, b := range g.xBreaks() {
-		vals := []float64{g.Eval(b)}
-		if r := g.EvalRight(b); !almostEqual(r, vals[0]) {
-			vals = append(vals, r)
+	gpts := g.pts
+	for i, p := range gpts {
+		if i > 0 && almostEqual(p.X, gpts[i-1].X) {
+			continue
 		}
-		shifted := ShiftLeft(f, b)
-		for _, v := range vals {
-			branches = append(branches, VShift(shifted, -v))
+		b := p.X
+		v0 := g.Eval(b)
+		shifted := shiftLeft(ar, f, b)
+		branches = append(branches, vshift(ar, shifted, -v0))
+		if r := g.EvalRight(b); !almostEqual(r, v0) {
+			branches = append(branches, vshift(ar, shifted, -r))
 		}
 	}
 	// Branches pivoted at breakpoints x of f: t -> f(x) - g(x-t) for
 	// t <= x, constant f(x) - g(0+) afterwards.
-	for _, x := range f.xBreaks() {
-		vals := []float64{f.Eval(x)}
-		if r := f.EvalRight(x); !almostEqual(r, vals[0]) {
-			vals = append(vals, r)
+	fpts := f.pts
+	for i, p := range fpts {
+		if i > 0 && almostEqual(p.X, fpts[i-1].X) {
+			continue
 		}
-		refl := reflectAround(g, x)
-		for _, v := range vals {
-			branches = append(branches, Sub(Constant(v), refl))
+		x := p.X
+		v0 := f.Eval(x)
+		refl := reflectAround(ar, g, x)
+		branches = append(branches, pointwise(ar, constant(ar, v0), refl, opSub, subTail))
+		if r := f.EvalRight(x); !almostEqual(r, v0) {
+			branches = append(branches, pointwise(ar, constant(ar, r), refl, opSub, subTail))
 		}
 	}
-	return reduceEnvelope(branches, Max), nil
+	return reduceEnvelope(ar, branches, (*Arena).Max), nil
 }
 
 // reflectAround builds h(t) = g(max(x - t, 0)) as a left-continuous curve:
 // the time-reversed tail of g hinged at x. h is non-increasing.
-func reflectAround(g Curve, x float64) Curve {
-	ts := []float64{0, x}
-	for _, y := range g.xBreaks() {
-		if d := x - y; d > 0 {
+func reflectAround(ar *Arena, g Curve, x float64) Curve {
+	ts := ar.floats(len(g.pts) + 2)
+	ts = append(ts, 0, x)
+	gpts := g.pts
+	for i, p := range gpts {
+		if i > 0 && almostEqual(p.X, gpts[i-1].X) {
+			continue
+		}
+		if d := x - p.X; d > 0 {
 			ts = append(ts, d)
 		}
 	}
@@ -129,5 +154,5 @@ func reflectAround(g Curve, x float64) Curve {
 		// limit from above in the argument of g.
 		return g.EvalRight(arg)
 	}
-	return fromEvaluator(ts, eval, 0)
+	return fromEvaluator(ar, ts, eval, 0)
 }

@@ -62,13 +62,18 @@ func New(pts []Point, finalSlope float64) Curve {
 	}
 	cp := make([]Point, len(pts))
 	copy(cp, pts)
-	sort.SliceStable(cp, func(i, j int) bool {
-		if cp[i].X != cp[j].X {
-			return cp[i].X < cp[j].X
-		}
-		return cp[i].Y < cp[j].Y
-	})
-	for _, p := range cp {
+	return newFromOwned(cp, finalSlope)
+}
+
+// newFromOwned builds a curve taking ownership of pts (no defensive copy).
+// Validation and normalization match New exactly; internal operations use
+// it to construct results directly into arena-allocated buffers.
+func newFromOwned(pts []Point, finalSlope float64) Curve {
+	if len(pts) == 0 {
+		panic("minplus: New called with no breakpoints")
+	}
+	sortPoints(pts)
+	for _, p := range pts {
 		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
 			panic(fmt.Sprintf("minplus: non-finite breakpoint %+v", p))
 		}
@@ -76,13 +81,50 @@ func New(pts []Point, finalSlope float64) Curve {
 	if math.IsNaN(finalSlope) || math.IsInf(finalSlope, 0) {
 		panic("minplus: non-finite final slope")
 	}
-	if !almostEqual(cp[0].X, 0) || cp[0].X < 0 {
-		panic(fmt.Sprintf("minplus: first breakpoint must be at X=0, got X=%g", cp[0].X))
+	if !almostEqual(pts[0].X, 0) || pts[0].X < 0 {
+		panic(fmt.Sprintf("minplus: first breakpoint must be at X=0, got X=%g", pts[0].X))
 	}
-	cp[0].X = 0
-	c := Curve{pts: cp, slope: finalSlope}
+	pts[0].X = 0
+	c := Curve{pts: pts, slope: finalSlope}
 	c.normalize()
 	return c
+}
+
+// pointLess is the breakpoint ordering: by X, then by Y (so the lower
+// point of a jump carries the left-continuous value).
+func pointLess(a, b Point) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// sortPoints sorts breakpoints by (X, Y) in place without the reflection
+// swapper that sort.Slice allocates. Nearly every construction site feeds
+// already-ordered points, so the sorted check makes the common case a
+// single linear scan; the insertion-sort fallback is only reached by
+// evaluator reconstructions with downward jumps or unordered candidates,
+// whose point counts are small.
+func sortPoints(pts []Point) {
+	sorted := true
+	for i := 1; i < len(pts); i++ {
+		if pointLess(pts[i], pts[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	for i := 1; i < len(pts); i++ {
+		p := pts[i]
+		j := i - 1
+		for j >= 0 && pointLess(p, pts[j]) {
+			pts[j+1] = pts[j]
+			j--
+		}
+		pts[j+1] = p
+	}
 }
 
 // normalize collapses duplicate X runs to at most two points (value and
@@ -104,8 +146,10 @@ func (c *Curve) normalize() {
 		}
 		i = j + 1
 	}
-	// Merge collinear interior points.
-	merged := make([]Point, 0, len(out))
+	// Merge collinear interior points, in place: the write index never
+	// passes the read index, and the popped entries are only re-read from
+	// the already-written prefix.
+	merged := out[:0]
 	for _, p := range out {
 		for len(merged) >= 2 {
 			a, b := merged[len(merged)-2], merged[len(merged)-1]
@@ -143,7 +187,12 @@ func (c Curve) Points() []Point {
 	return cp
 }
 
-// NumPoints returns the number of breakpoints.
+// PointAt returns the i-th breakpoint without copying the breakpoint
+// slice. Use it with NumPoints to iterate allocation-free.
+func (c Curve) PointAt(i int) Point { return c.pts[i] }
+
+// NumPoints returns the number of breakpoints, for iteration with PointAt
+// without the defensive copy Points makes.
 func (c Curve) NumPoints() int { return len(c.pts) }
 
 // FinalSlope returns the slope of the curve after its last breakpoint.
@@ -296,8 +345,11 @@ func (c Curve) lastOfRun(i int) int {
 }
 
 // xBreaks returns the distinct breakpoint X coordinates.
-func (c Curve) xBreaks() []float64 {
-	xs := make([]float64, 0, len(c.pts))
+func (c Curve) xBreaks() []float64 { return c.xBreaksArena(nil) }
+
+// xBreaksArena is xBreaks with the output drawn from an arena.
+func (c Curve) xBreaksArena(ar *Arena) []float64 {
+	xs := ar.floats(len(c.pts))
 	for i, p := range c.pts {
 		if i > 0 && almostEqual(p.X, c.pts[i-1].X) {
 			continue
@@ -347,7 +399,12 @@ func (c Curve) String() string {
 
 // mergeXs merges two ascending float slices, removing near-duplicates.
 func mergeXs(a, b []float64) []float64 {
-	out := make([]float64, 0, len(a)+len(b))
+	return mergeXsArena(nil, a, b)
+}
+
+// mergeXsArena is mergeXs with the output drawn from an arena.
+func mergeXsArena(ar *Arena, a, b []float64) []float64 {
+	out := ar.floats(len(a) + len(b))
 	out = append(out, a...)
 	out = append(out, b...)
 	sort.Float64s(out)
@@ -360,11 +417,42 @@ func mergeXs(a, b []float64) []float64 {
 	return dedup
 }
 
+// mergeBreaks returns the near-deduplicated union of the distinct
+// breakpoint abscissae of f and g — the same result as
+// mergeXs(f.xBreaks(), g.xBreaks()) computed by a direct two-pointer merge
+// over the breakpoint arrays, with a single output buffer.
+func mergeBreaks(ar *Arena, f, g Curve) []float64 {
+	out := ar.floats(len(f.pts) + len(g.pts))
+	fp, gp := f.pts, g.pts
+	i, j := 0, 0
+	for i < len(fp) || j < len(gp) {
+		var x float64
+		if j >= len(gp) || (i < len(fp) && fp[i].X <= gp[j].X) {
+			x = fp[i].X
+			i++
+			for i < len(fp) && almostEqual(fp[i].X, x) {
+				i++
+			}
+		} else {
+			x = gp[j].X
+			j++
+			for j < len(gp) && almostEqual(gp[j].X, x) {
+				j++
+			}
+		}
+		if len(out) == 0 || !almostEqual(out[len(out)-1], x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // fromEvaluator reconstructs a piecewise-linear curve from its values at a
 // superset ts of its true breakpoints, a left-continuous evaluator, and the
 // final slope beyond the last candidate. Jumps located at candidate points
-// are recovered by probing segment midpoints.
-func fromEvaluator(ts []float64, eval func(float64) float64, finalSlope float64) Curve {
+// are recovered by probing segment midpoints. ts is sorted and consumed in
+// place; with a non-nil arena the result curve aliases arena memory.
+func fromEvaluator(ar *Arena, ts []float64, eval func(float64) float64, finalSlope float64) Curve {
 	sort.Float64s(ts)
 	dedup := ts[:0]
 	for _, t := range ts {
@@ -377,10 +465,12 @@ func fromEvaluator(ts []float64, eval func(float64) float64, finalSlope float64)
 	}
 	ts = dedup
 	if len(ts) == 0 || !almostEqual(ts[0], 0) {
-		ts = append([]float64{0}, ts...)
+		withZero := ar.floats(len(ts) + 1)
+		withZero = append(withZero, 0)
+		ts = append(withZero, ts...)
 	}
-	pts := make([]Point, 0, 2*len(ts))
-	vals := make([]float64, len(ts))
+	pts := ar.points(2 * len(ts))
+	vals := ar.floats(len(ts))[:len(ts)]
 	for i, t := range ts {
 		vals[i] = eval(t)
 	}
@@ -407,7 +497,7 @@ func fromEvaluator(ts []float64, eval func(float64) float64, finalSlope float64)
 			}
 		}
 	}
-	return New(pts, finalSlope)
+	return newFromOwned(pts, finalSlope)
 }
 
 // RightSlope returns the slope of the curve on the segment immediately to

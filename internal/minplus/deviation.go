@@ -12,17 +12,35 @@ func SupDiff(f, g Curve) float64 {
 	if f.slope > g.slope+Eps {
 		return math.Inf(1)
 	}
-	xs := mergeXs(f.xBreaks(), g.xBreaks())
+	// The sup over the candidate set is order-independent, so instead of
+	// materializing the merged abscissa union the candidates are probed
+	// straight off each operand's breakpoint array (allocation-free; a
+	// duplicated probe changes nothing under max).
 	best := math.Inf(-1)
-	for _, x := range xs {
+	probe := func(x float64) {
 		best = math.Max(best, f.Eval(x)-g.Eval(x))
 		best = math.Max(best, f.EvalRight(x)-g.EvalRight(x))
+	}
+	maxX := 0.0
+	for i, p := range f.pts {
+		if i > 0 && almostEqual(p.X, f.pts[i-1].X) {
+			continue
+		}
+		probe(p.X)
+		maxX = math.Max(maxX, p.X)
+	}
+	for i, p := range g.pts {
+		if i > 0 && almostEqual(p.X, g.pts[i-1].X) {
+			continue
+		}
+		probe(p.X)
+		maxX = math.Max(maxX, p.X)
 	}
 	// Tail: the difference is affine with slope f.slope-g.slope <= 0
 	// beyond the last breakpoint; its value there is covered by EvalRight
 	// at the last breakpoint, but probe once more to be safe against
 	// equal-slope tails.
-	far := xs[len(xs)-1] + 1
+	far := maxX + 1
 	best = math.Max(best, f.Eval(far)-g.Eval(far))
 	return best
 }
@@ -58,25 +76,25 @@ func HorizontalDeviation(alpha, beta Curve) float64 {
 	}
 	// d(t) = betaInv(alpha(t)) - t is piecewise linear in t with
 	// breakpoints at alpha's breakpoints and at preimages (under alpha) of
-	// beta's breakpoint ordinates.
-	ts := alpha.xBreaks()
-	for _, p := range beta.pts {
-		if t := LowerInverseAtBounded(alpha, p.Y); t >= 0 {
-			ts = append(ts, t)
-		}
-	}
-	ts = mergeXs(ts, nil)
+	// beta's breakpoint ordinates. The supremum over that candidate set is
+	// order-independent, so the candidates are probed as they are
+	// enumerated — no merged/sorted abscissa list is materialized and the
+	// whole computation is allocation-free.
 	best := 0.0
+	probeOne := func(t, y float64) bool {
+		x := LowerInverseAtBounded(beta, y)
+		if x < 0 {
+			best = math.Inf(1)
+			return false
+		}
+		if d := x - t; d > best {
+			best = d
+		}
+		return true
+	}
 	probe := func(t float64) {
-		for _, y := range []float64{alpha.Eval(t), alpha.EvalRight(t)} {
-			x := LowerInverseAtBounded(beta, y)
-			if x < 0 {
-				best = math.Inf(1)
-				return
-			}
-			if d := x - t; d > best {
-				best = d
-			}
+		if !probeOne(t, alpha.Eval(t)) || !probeOne(t, alpha.EvalRight(t)) {
+			return
 		}
 		// When alpha crosses a plateau ordinate of beta exactly at t and
 		// keeps rising, the deviation just after t uses the strict inverse
@@ -97,16 +115,32 @@ func HorizontalDeviation(alpha, beta Curve) float64 {
 			}
 		}
 	}
-	for _, t := range ts {
+	maxT := 0.0
+	for i, p := range alpha.pts {
+		if i > 0 && almostEqual(p.X, alpha.pts[i-1].X) {
+			continue
+		}
+		probe(p.X)
+		if math.IsInf(best, 1) {
+			return best
+		}
+		maxT = math.Max(maxT, p.X)
+	}
+	for _, p := range beta.pts {
+		t := LowerInverseAtBounded(alpha, p.Y)
+		if t < 0 {
+			continue
+		}
 		probe(t)
 		if math.IsInf(best, 1) {
 			return best
 		}
+		maxT = math.Max(maxT, t)
 	}
 	// Tail probe: beyond the last candidate both alpha and betaInv(alpha)
 	// are affine; if their difference still grows the deviation is
 	// unbounded, otherwise the last candidates dominate.
-	far := ts[len(ts)-1] + 1
+	far := maxT + 1
 	probe(far)
 	probe(far + 1)
 	return best

@@ -29,6 +29,16 @@ type GatedConvex struct {
 // return is false when f does not have the shape (nonzero start, interior
 // or downward jumps, non-convex section after the gate, decreasing tail).
 func DecomposeGatedConvex(f Curve) (GatedConvex, bool) {
+	return decomposeGatedConvex(nil, f)
+}
+
+// DecomposeGatedConvex is the arena variant of the package-level function:
+// the Segs slice of the result is drawn from the arena.
+func (a *Arena) DecomposeGatedConvex(f Curve) (GatedConvex, bool) {
+	return decomposeGatedConvex(a, f)
+}
+
+func decomposeGatedConvex(ar *Arena, f Curve) (GatedConvex, bool) {
 	f.mustValid()
 	pts := f.pts
 	if !almostEqual(pts[0].Y, 0) {
@@ -50,6 +60,7 @@ func DecomposeGatedConvex(f Curve) (GatedConvex, bool) {
 	}
 	prevX, prevY := g.Gate, g.Jump
 	prevSlope := math.Inf(-1)
+	g.Segs = ar.segs(len(pts) - j)
 	for ; j < len(pts); j++ {
 		p := pts[j]
 		if p.X <= prevX || almostEqual(p.X, prevX) {
@@ -98,10 +109,19 @@ func (g GatedConvex) Curve() Curve {
 // at the smaller tail slope. Together with the two single-jump branches it
 // yields the full convolution; see ConvolveGated.
 func ConvolveConvexParts(a, b GatedConvex) Curve {
+	return convolveConvexParts(nil, a, b)
+}
+
+// ConvolveConvexParts is the arena variant of the package-level function.
+func (ar *Arena) ConvolveConvexParts(a, b GatedConvex) Curve {
+	return convolveConvexParts(ar, a, b)
+}
+
+func convolveConvexParts(ar *Arena, a, b GatedConvex) Curve {
 	tail := math.Min(a.Tail, b.Tail)
-	segs := mergeConvexSegs(a.Segs, b.Segs, tail)
+	segs := mergeConvexSegs(ar, a.Segs, b.Segs, tail)
 	jump := a.Jump + b.Jump
-	pts := make([]Point, 0, len(segs)+2)
+	pts := ar.points(len(segs) + 2)
 	pts = append(pts, Point{0, 0})
 	x, y := 0.0, jump
 	if !almostEqual(jump, 0) {
@@ -121,8 +141,8 @@ func ConvolveConvexParts(a, b GatedConvex) Curve {
 // dropping segments whose slope is not below cut: a slope reached by the
 // (infinitely long) cheaper tail never contributes to the infimal
 // convolution.
-func mergeConvexSegs(a, b []SlopeSeg, cut float64) []SlopeSeg {
-	out := make([]SlopeSeg, 0, len(a)+len(b))
+func mergeConvexSegs(ar *Arena, a, b []SlopeSeg, cut float64) []SlopeSeg {
+	out := ar.segs(len(a) + len(b))
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		var s SlopeSeg
@@ -154,14 +174,19 @@ func mergeConvexSegs(a, b []SlopeSeg, cut float64) []SlopeSeg {
 // three branches are the s=0, s=u and 0<s<u splits of the infimal
 // convolution. Exact for gated-convex operands; falls back to the generic
 // Convolve when either operand does not decompose.
-func ConvolveGated(f, g Curve) Curve {
-	df, okF := DecomposeGatedConvex(f)
-	dg, okG := DecomposeGatedConvex(g)
+func ConvolveGated(f, g Curve) Curve { return convolveGated(nil, f, g) }
+
+// ConvolveGated is the arena variant of the package-level ConvolveGated.
+func (a *Arena) ConvolveGated(f, g Curve) Curve { return convolveGated(a, f, g) }
+
+func convolveGated(ar *Arena, f, g Curve) Curve {
+	df, okF := decomposeGatedConvex(ar, f)
+	dg, okG := decomposeGatedConvex(ar, g)
 	if !okF || !okG {
-		return Convolve(f, g)
+		return convolve(ar, f, g)
 	}
-	chiF := ShiftLeft(f, df.Gate)
-	chiG := ShiftLeft(g, dg.Gate)
-	env := Min(Min(chiF, chiG), ConvolveConvexParts(df, dg))
-	return Delay(env, df.Gate+dg.Gate)
+	chiF := shiftLeft(ar, f, df.Gate)
+	chiG := shiftLeft(ar, g, dg.Gate)
+	env := pointwise(ar, pointwise(ar, chiF, chiG, math.Min, minTail), convolveConvexParts(ar, df, dg), math.Min, minTail)
+	return delay(ar, env, df.Gate+dg.Gate)
 }

@@ -1,0 +1,144 @@
+package minplus
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// Curve interning. The analysis layer rebuilds the same handful of
+// token-bucket / rate-latency / rate envelopes constantly — once per
+// connection per analysis pass — so the common builders memoize their
+// results in a bounded table keyed by constructor parameters. Interned
+// curves are shared: every operation in this package treats curves as
+// immutable (all mutating steps happen on freshly-allocated buffers before
+// a curve is returned), so sharing is safe, including across goroutines.
+
+type internKind uint8
+
+const (
+	internRate internKind = iota + 1
+	internTokenBucket
+	internTokenBucketCapped
+	internRateLatency
+)
+
+type internKey struct {
+	kind    internKind
+	a, b, c float64
+}
+
+// internMax bounds the builder table. Adversarial workloads (the falsify
+// hill-climber mutates sigma/rho continuously) would otherwise grow it
+// without bound; on overflow the table is simply dropped and re-warmed.
+const internMax = 1 << 14
+
+var (
+	internMu  sync.RWMutex
+	internTab map[internKey]Curve
+)
+
+// internCurve returns the cached curve for key, building and caching it on
+// a miss.
+func internCurve(k internKey, build func() Curve) Curve {
+	internMu.RLock()
+	c, ok := internTab[k]
+	internMu.RUnlock()
+	if ok {
+		return c
+	}
+	c = build()
+	internMu.Lock()
+	if internTab == nil {
+		internTab = make(map[internKey]Curve, 256)
+	} else if len(internTab) >= internMax {
+		clear(internTab)
+	}
+	internTab[k] = c
+	internMu.Unlock()
+	return c
+}
+
+// Digest returns a canonical 64-bit digest of the curve: FNV-1a over the
+// breakpoint coordinates and the final slope. Equal representations have
+// equal digests; it is the key used by Intern and a cheap identity for
+// cache layers above this package.
+func (c Curve) Digest() uint64 {
+	c.mustValid()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	var buf [8]byte
+	mix := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	for _, p := range c.pts {
+		mix(p.X)
+		mix(p.Y)
+	}
+	mix(c.slope)
+	return h
+}
+
+var (
+	digestMu  sync.RWMutex
+	digestTab map[uint64]Curve
+)
+
+// Intern returns a canonical shared instance of c: the first curve
+// interned with a given digest wins and later structurally-identical
+// curves are replaced by it, so repeated envelopes collapse to one
+// backing array. Curves whose digest collides with a structurally
+// different entry are returned unchanged. The caller must treat the
+// result as immutable (true of every curve in this package) and must not
+// intern arena-backed curves without Clone-ing them first.
+func Intern(c Curve) Curve {
+	d := c.Digest()
+	digestMu.RLock()
+	cached, ok := digestTab[d]
+	digestMu.RUnlock()
+	if ok {
+		if sameRepr(cached, c) {
+			return cached
+		}
+		return c
+	}
+	digestMu.Lock()
+	if digestTab == nil {
+		digestTab = make(map[uint64]Curve, 256)
+	} else if len(digestTab) >= internMax {
+		clear(digestTab)
+	}
+	digestTab[d] = c
+	digestMu.Unlock()
+	return c
+}
+
+// sameRepr reports whether two curves have bit-identical representations.
+func sameRepr(a, b Curve) bool {
+	if a.slope != b.slope || len(a.pts) != len(b.pts) {
+		return false
+	}
+	for i := range a.pts {
+		if a.pts[i] != b.pts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// internReset clears both intern tables (test hook).
+func internReset() {
+	internMu.Lock()
+	internTab = nil
+	internMu.Unlock()
+	digestMu.Lock()
+	digestTab = nil
+	digestMu.Unlock()
+}

@@ -28,7 +28,7 @@ func LowerInverse(f Curve) Curve {
 		}
 	}
 	eval := func(y float64) float64 { return LowerInverseAt(f, y) }
-	return fromEvaluator(ys, eval, 1/f.slope)
+	return fromEvaluator(nil, ys, eval, 1/f.slope)
 }
 
 // LowerInverseAt evaluates the lower pseudo-inverse of f at a single
@@ -101,7 +101,7 @@ func UpperInverse(f Curve) Curve {
 		}
 	}
 	eval := func(y float64) float64 { return upperInverseAt(f, y) }
-	return fromEvaluator(ys, eval, 1/f.slope)
+	return fromEvaluator(nil, ys, eval, 1/f.slope)
 }
 
 // upperInverseAt evaluates inf{ t : f(t) > y }.
@@ -155,9 +155,12 @@ func strictInverseAtBounded(f Curve, y float64) float64 {
 		// The curve sits at (approximately) y just after x: advance to the
 		// next distinct breakpoint, or into the affine tail.
 		advanced := false
-		for _, bx := range f.xBreaks() {
-			if bx > x && !almostEqual(bx, x) {
-				x = bx
+		for i, p := range f.pts {
+			if i > 0 && almostEqual(p.X, f.pts[i-1].X) {
+				continue
+			}
+			if p.X > x && !almostEqual(p.X, x) {
+				x = p.X
 				advanced = true
 				break
 			}

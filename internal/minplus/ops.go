@@ -9,14 +9,16 @@ import "math"
 // interpolation. tailSlope must give the exact slope of the result beyond
 // all breakpoints and crossings; it is computed from the operand slopes
 // rather than by numeric differencing so that no floating-point drift
-// enters the representation.
-func pointwise(f, g Curve, op func(a, b float64) float64, tailSlope func(f, g Curve, farT float64) float64) Curve {
+// enters the representation. With a non-nil arena all scratch and result
+// storage comes from the arena.
+func pointwise(ar *Arena, f, g Curve, op func(a, b float64) float64, tailSlope func(f, g Curve, farT float64) float64) Curve {
 	f.mustValid()
 	g.mustValid()
-	xs := mergeXs(f.xBreaks(), g.xBreaks())
+	xs := mergeBreaks(ar, f, g)
 	// Add crossing points of f-g within each inter-breakpoint interval and
-	// in the tail, where both functions are linear.
-	var extra []float64
+	// in the tail, where both functions are linear: at most one per
+	// interval plus one in the tail.
+	extra := ar.floats(len(xs))
 	addCrossing := func(lo, hi float64) {
 		fl, gl := f.EvalRight(lo), g.EvalRight(lo)
 		if math.IsInf(hi, 1) {
@@ -46,10 +48,10 @@ func pointwise(f, g Curve, op func(a, b float64) float64, tailSlope func(f, g Cu
 		addCrossing(xs[i], xs[i+1])
 	}
 	addCrossing(xs[len(xs)-1], math.Inf(1))
-	all := mergeXs(xs, extra)
+	all := mergeXsArena(ar, xs, extra)
 
 	eval := func(t float64) float64 { return op(f.Eval(t), g.Eval(t)) }
-	return fromEvaluator(all, eval, tailSlope(f, g, all[len(all)-1]+1))
+	return fromEvaluator(ar, all, eval, tailSlope(f, g, all[len(all)-1]+1))
 }
 
 func addTail(f, g Curve, _ float64) float64 { return f.slope + g.slope }
@@ -84,10 +86,14 @@ func maxTail(f, g Curve, farT float64) float64 {
 	}
 }
 
+func opAdd(a, b float64) float64 { return a + b }
+func opSub(a, b float64) float64 { return a - b }
+
 // Add returns f + g.
-func Add(f, g Curve) Curve {
-	return pointwise(f, g, func(a, b float64) float64 { return a + b }, addTail)
-}
+func Add(f, g Curve) Curve { return pointwise(nil, f, g, opAdd, addTail) }
+
+// Add returns f + g built in the arena.
+func (a *Arena) Add(f, g Curve) Curve { return pointwise(a, f, g, opAdd, addTail) }
 
 // Sum adds any number of curves; Sum() is the zero curve. It delegates to
 // SumN, the single-pass k-way merge.
@@ -96,23 +102,29 @@ func Sum(curves ...Curve) Curve {
 }
 
 // Min returns the pointwise minimum of f and g.
-func Min(f, g Curve) Curve {
-	return pointwise(f, g, math.Min, minTail)
-}
+func Min(f, g Curve) Curve { return pointwise(nil, f, g, math.Min, minTail) }
+
+// Min returns the pointwise minimum of f and g built in the arena.
+func (a *Arena) Min(f, g Curve) Curve { return pointwise(a, f, g, math.Min, minTail) }
 
 // Max returns the pointwise maximum of f and g.
-func Max(f, g Curve) Curve {
-	return pointwise(f, g, math.Max, maxTail)
-}
+func Max(f, g Curve) Curve { return pointwise(nil, f, g, math.Max, maxTail) }
+
+// Max returns the pointwise maximum of f and g built in the arena.
+func (a *Arena) Max(f, g Curve) Curve { return pointwise(a, f, g, math.Max, maxTail) }
 
 // PositivePart returns max(f, 0), written [f]^+ in network calculus.
 func PositivePart(f Curve) Curve { return Max(f, Zero()) }
 
+// PositivePart returns max(f, 0) built in the arena.
+func (a *Arena) PositivePart(f Curve) Curve { return a.Max(f, Zero()) }
+
 // Sub returns f - g. The result need not be monotone; it is intended for
 // deviation computations and plotting.
-func Sub(f, g Curve) Curve {
-	return pointwise(f, g, func(a, b float64) float64 { return a - b }, subTail)
-}
+func Sub(f, g Curve) Curve { return pointwise(nil, f, g, opSub, subTail) }
+
+// Sub returns f - g built in the arena.
+func (a *Arena) Sub(f, g Curve) Curve { return pointwise(a, f, g, opSub, subTail) }
 
 // MonotoneClosure returns the greatest non-decreasing curve that nowhere
 // exceeds f:
@@ -123,7 +135,12 @@ func Sub(f, g Curve) Curve {
 // curve is always a valid (if weaker) guarantee, so the closure is sound.
 // The curve's final slope must be non-negative, otherwise the infimum is
 // -Inf everywhere and MonotoneClosure panics.
-func MonotoneClosure(f Curve) Curve {
+func MonotoneClosure(f Curve) Curve { return monotoneClosure(nil, f) }
+
+// MonotoneClosure is the arena variant of the package-level function.
+func (a *Arena) MonotoneClosure(f Curve) Curve { return monotoneClosure(a, f) }
+
+func monotoneClosure(ar *Arena, f Curve) Curve {
 	f.mustValid()
 	if f.slope < -Eps {
 		panic("minplus: MonotoneClosure of a curve decreasing to -Inf")
@@ -131,9 +148,9 @@ func MonotoneClosure(f Curve) Curve {
 	if f.IsNonDecreasing() {
 		return f
 	}
-	xs := f.xBreaks()
+	xs := f.xBreaksArena(ar)
 	// M[i] = inf of f over [xs[i], inf).
-	m := make([]float64, len(xs))
+	m := ar.floats(len(xs))[:len(xs)]
 	tail := f.EvalRight(xs[len(xs)-1]) // min of the affine tail (slope >= 0)
 	run := tail
 	// Segment interiors are linear, so every local minimum is attained at
@@ -148,7 +165,7 @@ func MonotoneClosure(f Curve) Curve {
 	// interval after it. On the tail S follows f itself (the tail infimum
 	// is its right limit at the last breakpoint, since slope >= 0) so that
 	// Min(f, S) leaves the tail untouched.
-	pts := make([]Point, 0, 2*len(xs))
+	pts := ar.points(2 * len(xs))
 	for i, x := range xs {
 		pts = append(pts, Point{x, m[i]})
 		if i+1 < len(xs) {
@@ -161,5 +178,5 @@ func MonotoneClosure(f Curve) Curve {
 	}
 	s := Curve{pts: pts, slope: f.slope}
 	s.normalize()
-	return Min(f, s)
+	return pointwise(ar, f, s, math.Min, minTail)
 }

@@ -82,7 +82,17 @@ func (cu *Cursor) EvalRight(x float64) float64 {
 // whose breakpoints all sit at the origin (affine curves, token buckets —
 // the overwhelmingly common envelope shape) take a closed-form fast path
 // with no sweep at all. SumN() is the zero curve.
-func SumN(curves ...Curve) Curve {
+func SumN(curves ...Curve) Curve { return sumN(nil, curves) }
+
+// SumN is the arena variant of the package-level SumN: scratch buffers and
+// the result curve are drawn from the arena.
+func (a *Arena) SumN(curves ...Curve) Curve { return sumN(a, curves) }
+
+// SumNSlice sums a slice of curves into the arena without the variadic
+// copy the ... form forces at call sites that already hold a slice.
+func (a *Arena) SumNSlice(curves []Curve) Curve { return sumN(a, curves) }
+
+func sumN(ar *Arena, curves []Curve) Curve {
 	switch len(curves) {
 	case 0:
 		return Zero()
@@ -110,15 +120,15 @@ func SumN(curves ...Curve) Curve {
 			v0 += p[0].Y
 			vr += p[len(p)-1].Y
 		}
-		pts := make([]Point, 1, 2)
-		pts[0] = Point{0, v0}
+		pts := ar.points(2)
+		pts = append(pts, Point{0, v0})
 		if !almostEqual(v0, vr) {
 			pts = append(pts, Point{0, vr})
 		}
 		return Curve{pts: pts, slope: slope}
 	}
 	// Union of distinct breakpoint abscissae.
-	xs := make([]float64, 0, total)
+	xs := ar.floats(total)
 	for i := range curves {
 		pts := curves[i].pts
 		for j, p := range pts {
@@ -137,11 +147,11 @@ func SumN(curves ...Curve) Curve {
 	}
 	xs = dedup
 
-	cursors := make([]Cursor, len(curves))
+	cursors := ar.cursors(len(curves))
 	for i := range curves {
 		cursors[i] = NewCursor(curves[i])
 	}
-	pts := make([]Point, 0, 2*len(xs))
+	pts := ar.points(2 * len(xs))
 	for _, x := range xs {
 		v, vr := 0.0, 0.0
 		for i := range cursors {

@@ -1,0 +1,147 @@
+package topo
+
+import (
+	"fmt"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/traffic"
+)
+
+// FatTree builds a k-ary fat-tree fabric as a direct feedforward Network,
+// the standard datacenter Clos construction: k pods, each with k/2 edge
+// and k/2 aggregation switches, and (k/2)^2 core switches. As in the
+// other builders, a server models a switch output port, here one per
+// directed inter-switch link, giving exactly k^3 unit-capacity FIFO
+// servers in four classes:
+//
+//	edge->agg (up), agg->core (up), core->agg (down), agg->edge (down)
+//
+// Server indices are laid out class-major in that order, so every route
+// (up first, then down) visits strictly increasing indices and the
+// network is feedforward by construction — no BFS routing and no cycle
+// checking is needed while building, which keeps construction linear in
+// the number of flows even at the ~10k-switch scale the fabric benchmark
+// uses (k=22 gives 10,648 servers).
+//
+// Each edge switch hosts hostsPerEdge sources and each source emits one
+// flow to a deterministically chosen host under a different edge switch:
+// mostly inter-pod (4 links: up to a core and back down) with a fraction
+// of intra-pod flows (2 links: up to an aggregation switch and back).
+// The aggregation and core choices are spread by a hash of the flow id,
+// mimicking ECMP load balancing. Every source is a unit-burst token
+// bucket whose rate is scaled so the single most-loaded link runs at
+// exactly util < 1; utilization everywhere else is at or below that.
+func FatTree(k, hostsPerEdge int, util float64) (*Network, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topo: fat-tree arity %d must be even and >= 2", k)
+	}
+	if hostsPerEdge < 1 {
+		return nil, fmt.Errorf("topo: fat-tree needs at least one host per edge switch, got %d", hostsPerEdge)
+	}
+	if util <= 0 || util >= 1 {
+		return nil, fmt.Errorf("topo: utilization %g outside (0, 1)", util)
+	}
+	half := k / 2
+	class := k * half * half // links (servers) per class
+	// Index formulas for the four link classes, class-major so paths are
+	// strictly increasing.
+	eUp := func(p, e, a int) int { return (p*half+e)*half + a }
+	aUp := func(p, a, j int) int { return class + (p*half+a)*half + j }
+	cDown := func(a, j, p int) int { return 2*class + (a*half+j)*k + p }
+	aDown := func(p, a, e int) int { return 3*class + (p*half+a)*half + e }
+
+	net := &Network{Servers: make([]server.Server, 4*class)}
+	port := func(i int, name string) {
+		net.Servers[i] = server.Server{Name: name, Capacity: 1, Discipline: server.FIFO}
+	}
+	for p := 0; p < k; p++ {
+		for x := 0; x < half; x++ {
+			for y := 0; y < half; y++ {
+				port(eUp(p, x, y), fmt.Sprintf("p%d.e%d>a%d", p, x, y))
+				// Aggregation switch x uplinks only to core row x (the
+				// fat-tree wiring constraint), column y.
+				port(aUp(p, x, y), fmt.Sprintf("p%d.a%d>c%d.%d", p, x, x, y))
+				port(aDown(p, x, y), fmt.Sprintf("p%d.a%d>e%d", p, x, y))
+			}
+		}
+	}
+	for a := 0; a < half; a++ {
+		for j := 0; j < half; j++ {
+			for p := 0; p < k; p++ {
+				port(cDown(a, j, p), fmt.Sprintf("c%d.%d>p%d", a, j, p))
+			}
+		}
+	}
+
+	paths := make([][]int, 0, k*half*hostsPerEdge)
+	names := make([]string, 0, cap(paths))
+	load := make([]int, 4*class)
+	var id uint64
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < hostsPerEdge; h++ {
+				hv := ftMix(id)
+				id++
+				a := int(hv % uint64(half))
+				var path []int
+				if half > 1 && h%4 == 0 {
+					// Intra-pod: bounce off aggregation switch a to a
+					// different edge switch of the same pod.
+					ed := (e + 1 + int((hv>>48)%uint64(half-1))) % half
+					path = []int{eUp(p, e, a), aDown(p, a, ed)}
+				} else {
+					// Inter-pod through core (a, j); the core row is
+					// forced to a by the wiring, so both pods use
+					// aggregation switch a.
+					j := int((hv >> 16) % uint64(half))
+					ed := int((hv >> 32) % uint64(half))
+					pd := (p + 1 + int((hv>>48)%uint64(k-1))) % k
+					path = []int{eUp(p, e, a), aUp(p, a, j), cDown(a, j, pd), aDown(pd, a, ed)}
+				}
+				for _, s := range path {
+					load[s]++
+				}
+				paths = append(paths, path)
+				names = append(names, fmt.Sprintf("ft.p%d.e%d.h%d", p, e, h))
+			}
+		}
+	}
+	maxLoad := 1
+	for _, l := range load {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	bucket := traffic.TokenBucket{Sigma: 1, Rho: util / float64(maxLoad)}
+	net.Connections = make([]Connection, len(paths))
+	for i, path := range paths {
+		net.Connections[i] = Connection{
+			Name:       names[i],
+			Bucket:     bucket,
+			AccessRate: 1,
+			Path:       path,
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Clos builds the canonical folded-Clos instance of the k-ary fat-tree:
+// one flow per edge-switch host port (k/2 hosts per edge switch), the
+// fully wired three-stage topology datacenter fabrics are built from.
+func Clos(k int, util float64) (*Network, error) {
+	return FatTree(k, k/2, util)
+}
+
+// ftMix is a 64-bit finalizer-style hash (murmur3 avalanche constants)
+// used to spread flow routing choices deterministically.
+func ftMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

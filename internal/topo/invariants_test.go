@@ -162,6 +162,76 @@ func TestRandomFeedforwardInvariantGrid(t *testing.T) {
 	}
 }
 
+func TestFatTreeInvariantGrid(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		for _, hosts := range []int{1, 3} {
+			for _, util := range []float64{0.3, 0.9} {
+				net, err := FatTree(k, hosts, util)
+				if err != nil {
+					t.Fatalf("FatTree(%d, %d, %g): %v", k, hosts, util, err)
+				}
+				label := fmt.Sprintf("fattree k=%d hosts=%d u=%g", k, hosts, util)
+				checkInvariants(t, label, net)
+				if got, want := len(net.Servers), k*k*k; got != want {
+					t.Errorf("%s: %d servers, want k^3 = %d", label, got, want)
+				}
+				if got, want := len(net.Connections), k*(k/2)*hosts; got != want {
+					t.Errorf("%s: %d connections, want %d", label, got, want)
+				}
+				// The scaling promise: the most loaded link runs at exactly
+				// util, everything else at or below it.
+				peak := 0.0
+				for s, u := range net.Utilization() {
+					if u > util+1e-12 {
+						t.Errorf("%s: server %d utilization %g exceeds requested %g", label, s, u, util)
+					}
+					if u > peak {
+						peak = u
+					}
+				}
+				if !almost(peak, util) {
+					t.Errorf("%s: peak utilization %g, want %g", label, peak, util)
+				}
+				// Feedforward by construction: paths visit strictly
+				// increasing server indices.
+				for _, c := range net.Connections {
+					if n := len(c.Path); n != 2 && n != 4 {
+						t.Errorf("%s: connection %q path length %d, want 2 or 4", label, c.Name, n)
+					}
+					for i := 1; i < len(c.Path); i++ {
+						if c.Path[i] <= c.Path[i-1] {
+							t.Errorf("%s: path %v not strictly increasing", label, c.Path)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, bad := range []struct {
+		k, hosts int
+		util     float64
+	}{{3, 1, 0.5}, {0, 1, 0.5}, {4, 0, 0.5}, {4, 1, 0}, {4, 1, 1}} {
+		if _, err := FatTree(bad.k, bad.hosts, bad.util); err == nil {
+			t.Errorf("FatTree(%d, %d, %g): expected error", bad.k, bad.hosts, bad.util)
+		}
+	}
+}
+
+func TestClosInvariantGrid(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		net, err := Clos(k, 0.6)
+		if err != nil {
+			t.Fatalf("Clos(%d): %v", k, err)
+		}
+		label := fmt.Sprintf("clos k=%d", k)
+		checkInvariants(t, label, net)
+		// One flow per host port: k/2 hosts at each of k*(k/2) edge switches.
+		if got, want := len(net.Connections), k*(k/2)*(k/2); got != want {
+			t.Errorf("%s: %d connections, want %d", label, got, want)
+		}
+	}
+}
+
 func TestFabricInvariantGrid(t *testing.T) {
 	bucket := traffic.TokenBucket{Sigma: 1, Rho: 0.1}
 	mk := func(name, from, to string) Demand {

@@ -162,6 +162,41 @@ func (n *Network) ConnectionsAt(s int) []int {
 	return out
 }
 
+// ConnectionIndex returns, for every server, the indices of the
+// connections whose path includes it, in increasing connection order: the
+// batch form of ConnectionsAt, computed in one pass over all routes.
+// Analyzers that need the relation at many servers use it instead of
+// per-server ConnectionsAt scans, which cost O(connections x path length)
+// each.
+func (n *Network) ConnectionIndex() [][]int {
+	// Counting sort into one flat backing array: per-server rows come out
+	// in increasing connection order (routes never repeat a server), in
+	// four allocations total instead of per-row append growth.
+	start := make([]int, len(n.Servers)+1)
+	for _, c := range n.Connections {
+		for _, s := range c.Path {
+			start[s+1]++
+		}
+	}
+	for s := 1; s <= len(n.Servers); s++ {
+		start[s] += start[s-1]
+	}
+	flat := make([]int, start[len(n.Servers)])
+	cur := make([]int, len(n.Servers))
+	copy(cur, start)
+	for i, c := range n.Connections {
+		for _, s := range c.Path {
+			flat[cur[s]] = i
+			cur[s]++
+		}
+	}
+	idx := make([][]int, len(n.Servers))
+	for s := range idx {
+		idx[s] = flat[start[s]:start[s+1]:start[s+1]]
+	}
+	return idx
+}
+
 // HopIndex returns the position of server s in connection c's path, or -1.
 func (n *Network) HopIndex(c, s int) int {
 	for i, hop := range n.Connections[c].Path {
@@ -172,20 +207,39 @@ func (n *Network) HopIndex(c, s int) int {
 	return -1
 }
 
-// edges returns the server precedence relation induced by connection
-// routes: u -> v whenever some connection visits u immediately before v.
-func (n *Network) edges() map[int]map[int]bool {
-	e := make(map[int]map[int]bool)
+// edgePairs returns the distinct server precedence pairs induced by
+// connection routes — u -> v whenever some connection visits u
+// immediately before v — sorted by (u, v). One flat sorted-and-deduped
+// slice instead of a map of per-node sets, so fabric-scale graphs
+// (hundreds of thousands of hop pairs) build their adjacency with a
+// handful of allocations.
+func (n *Network) edgePairs() [][2]int {
+	total := 0
 	for _, c := range n.Connections {
-		for i := 0; i+1 < len(c.Path); i++ {
-			u, v := c.Path[i], c.Path[i+1]
-			if e[u] == nil {
-				e[u] = make(map[int]bool)
-			}
-			e[u][v] = true
+		if len(c.Path) > 1 {
+			total += len(c.Path) - 1
 		}
 	}
-	return e
+	pairs := make([][2]int, 0, total)
+	for _, c := range n.Connections {
+		for i := 0; i+1 < len(c.Path); i++ {
+			pairs = append(pairs, [2]int{c.Path[i], c.Path[i+1]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	w := 0
+	for i, p := range pairs {
+		if i == 0 || p != pairs[w-1] {
+			pairs[w] = p
+			w++
+		}
+	}
+	return pairs[:w]
 }
 
 // TopologicalOrder returns the servers sorted so that every connection
@@ -193,40 +247,88 @@ func (n *Network) edges() map[int]map[int]bool {
 // cycle (the network is not feedforward). Ties are broken by server index
 // for determinism.
 func (n *Network) TopologicalOrder() ([]int, error) {
-	e := n.edges()
+	pairs := n.edgePairs()
 	indeg := make([]int, len(n.Servers))
-	for _, outs := range e {
-		for v := range outs {
-			indeg[v]++
-		}
+	for _, p := range pairs {
+		indeg[p[1]]++
 	}
-	ready := make([]int, 0, len(n.Servers))
+	var ready intMinHeap
 	for i := range n.Servers {
 		if indeg[i] == 0 {
-			ready = append(ready, i)
+			ready.push(i)
 		}
 	}
-	sort.Ints(ready)
+	// start[u]..start[u+1] delimits u's successor range in pairs
+	// (counting-sort offsets over the sorted pair list).
+	start := make([]int, len(n.Servers)+1)
+	for _, p := range pairs {
+		start[p[0]+1]++
+	}
+	for u := 1; u <= len(n.Servers); u++ {
+		start[u] += start[u-1]
+	}
 	order := make([]int, 0, len(n.Servers))
 	for len(ready) > 0 {
-		u := ready[0]
-		ready = ready[1:]
+		u := ready.pop()
 		order = append(order, u)
-		var next []int
-		for v := range e[u] {
+		// Newly freed successors enter the heap; popping the global
+		// minimum each round reproduces the sorted-queue order exactly.
+		for _, p := range pairs[start[u]:start[u+1]] {
+			v := p[1]
 			indeg[v]--
 			if indeg[v] == 0 {
-				next = append(next, v)
+				ready.push(v)
 			}
 		}
-		sort.Ints(next)
-		ready = append(ready, next...)
-		sort.Ints(ready)
 	}
 	if len(order) != len(n.Servers) {
 		return nil, fmt.Errorf("topo: connection routes induce a cycle; the network is not feedforward")
 	}
 	return order, nil
+}
+
+// intMinHeap is a hand-rolled binary min-heap of server indices, replacing
+// the sort-after-every-pop ready queue that made TopologicalOrder
+// quadratic on fabric-scale networks. Popping the global minimum each
+// round yields exactly the order of the sorted queue.
+type intMinHeap []int
+
+func (h *intMinHeap) push(x int) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *intMinHeap) pop() int {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s[l] < s[m] {
+			m = l
+		}
+		if r < n && s[r] < s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
 }
 
 // IsFeedforward reports whether the route graph is acyclic.
