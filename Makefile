@@ -6,7 +6,7 @@ GO ?= go
 # upward (cross-machine variance); local runs use the strict default.
 BENCH_TOLERANCE ?= 1.3
 
-.PHONY: all build test race bench bench-admit bench-release bench-service bench-curves bench-fabric bench-gate profile-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
+.PHONY: all build test race bench bench-admit bench-release bench-service bench-shards bench-curves bench-fabric bench-gate profile-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
 
 all: build test
 
@@ -19,6 +19,7 @@ help:
 	@echo "  bench-admit    full vs incremental admission benchmark"
 	@echo "  bench-release  incremental vs invalidating release benchmark"
 	@echo "  bench-service  churn load against an in-process delayd -> BENCH_service.json"
+	@echo "  bench-shards   shard-scaling sweep at 1/2/4/8 shards -> BENCH_shards.json"
 	@echo "  bench-curves   curve-engine benchmarks -> BENCH_curves.json"
 	@echo "  bench-fabric   10k-switch fat-tree analysis benchmark"
 	@echo "  bench-gate     re-run curve benchmarks, fail past $(BENCH_TOLERANCE)x the committed snapshot"
@@ -62,6 +63,17 @@ bench-release:
 bench-service:
 	$(GO) run ./cmd/delayload -self 8 -duration 10s -concurrency 4 -mix 6:3:1 \
 		-seed 1 -out BENCH_service.json -gate-release-factor 2
+
+# Shard-scaling benchmark (docs/SERVICE.md): the same closed-loop churn at
+# 1/2/4/8 engine shards over an 8-block disjoint fabric, every worker
+# pinned inside one block and 200 connections per block prefilled so the
+# standing-state costs the sharding removes are present from the first
+# operation. Emits BENCH_shards.json (committed per PR) and fails when
+# 4 shards deliver less than 2x the 1-shard throughput.
+bench-shards:
+	$(GO) run ./cmd/delayload -shards 1,2,4,8 -duration 5s -concurrency 8 \
+		-blocks 8 -block-switches 3 -prefill 200 -rho 0.0001 -deadline 2000 \
+		-seed 1 -out BENCH_shards.json -gate-scaling 2
 
 # Curve-engine benchmarks (docs/PERFORMANCE.md): k-way aggregation vs the
 # pairwise fold, gated convolution, the end-to-end integrated analysis on

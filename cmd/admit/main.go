@@ -6,7 +6,7 @@
 // Usage:
 //
 //	admit [-servers 4] [-deadline 14] [-sigma 1] [-rho 0.02] [-limit 200] [-full]
-//	      [-timeout 0]
+//	      [-timeout 0] [-shards 1]
 //
 // The greedy fill runs through the same incremental admission engine the
 // delayd daemon serves (docs/INCREMENTAL.md): each admission extends the
@@ -42,6 +42,7 @@ func main() {
 		limit    = flag.Int("limit", 200, "admission attempts")
 		full     = flag.Bool("full", false, "disable incremental analysis (full re-analysis per test)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget per analyzer's greedy fill (0 = unlimited)")
+		shards   = flag.Int("shards", 1, "engine shards (a tandem is one component, so >1 only helps on disjoint fabrics)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 	// service.State is the same admission code path the delayd daemon
 	// serves, so CLI numbers and server decisions cannot diverge.
 	for _, a := range []analysis.Analyzer{analysis.Decomposed{}, analysis.ServiceCurve{}, analysis.Integrated{}} {
-		state, err := service.NewState(servers, a)
+		state, err := service.NewStateShards(servers, a, *shards)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,8 +102,8 @@ func main() {
 }
 
 // memResponse is a minimal in-process http.ResponseWriter so the CLI can
-// read counters through the same GET /v1/stats endpoint the daemon serves
-// instead of reaching into engine internals.
+// read counters through the same network-scoped GET stats endpoint the
+// daemon serves instead of reaching into engine internals.
 type memResponse struct {
 	header http.Header
 	status int
@@ -119,24 +120,25 @@ func (m *memResponse) Header() http.Header {
 func (m *memResponse) Write(p []byte) (int, error) { return m.body.Write(p) }
 func (m *memResponse) WriteHeader(code int)        { m.status = code }
 
-// fetchStats serves GET /v1/stats in-process against the state.
+// fetchStats serves the v2 stats endpoint in-process against the state.
 func fetchStats(state *service.State) (*service.StatsResponse, error) {
 	api, err := service.NewServer(service.Config{State: state})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodGet, "/v1/stats", nil)
+	url := "/v2/networks/" + service.DefaultNetworkID + "/stats"
+	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
 	rec := &memResponse{status: http.StatusOK}
 	api.ServeHTTP(rec, req)
 	if rec.status != http.StatusOK {
-		return nil, fmt.Errorf("GET /v1/stats: status %d: %s", rec.status, rec.body.String())
+		return nil, fmt.Errorf("GET %s: status %d: %s", url, rec.status, rec.body.String())
 	}
 	var stats service.StatsResponse
 	if err := json.Unmarshal(rec.body.Bytes(), &stats); err != nil {
-		return nil, fmt.Errorf("GET /v1/stats: %w", err)
+		return nil, fmt.Errorf("GET %s: %w", url, err)
 	}
 	return &stats, nil
 }

@@ -28,6 +28,14 @@
 // latencies are compared under the same tolerance:
 //
 //	delayload -self 8 ... -out /dev/stdout | benchjson -diff BENCH_service.json
+//
+// An object snapshot with a top-level "runs" key is a delayload
+// shard-scaling report (BENCH_shards.json): the per-shard-count ops/sec
+// throughputs and the overall scaling factor are compared instead, and a
+// run counts as regressed when its throughput (or the scaling factor)
+// falls below the snapshot value divided by the tolerance:
+//
+//	delayload -shards 1,2,4,8 ... -out /dev/stdout | benchjson -diff BENCH_shards.json
 package main
 
 import (
@@ -181,6 +189,62 @@ func diffService(current, snapshot []byte, tolerance float64) (bool, error) {
 	return regressed, nil
 }
 
+// shardsReport is the slice of a delayload shard-scaling report the
+// scaling diff reads; the "runs" key is what selects this mode.
+type shardsReport struct {
+	Runs []struct {
+		Shards     int     `json:"shards"`
+		Throughput float64 `json:"ops_per_sec"`
+	} `json:"runs"`
+	ScalingFactor float64 `json:"scaling_factor"`
+}
+
+// diffShards compares per-shard-count throughput and the scaling factor of
+// two shard-scaling reports. Throughput regresses downward, so the test is
+// current < snapshot / tolerance.
+func diffShards(current, snapshot []byte, tolerance float64) (bool, error) {
+	var cur, base shardsReport
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return false, fmt.Errorf("current shards report: %w", err)
+	}
+	if err := json.Unmarshal(snapshot, &base); err != nil {
+		return false, fmt.Errorf("snapshot shards report: %w", err)
+	}
+	baseBy := make(map[int]float64, len(base.Runs))
+	for _, r := range base.Runs {
+		baseBy[r.Shards] = r.Throughput
+	}
+	regressed := false
+	for _, r := range cur.Runs {
+		b, ok := baseBy[r.Shards]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: shards=%-3d NEW (no snapshot entry)\n", r.Shards)
+			continue
+		}
+		if b <= 0 || r.Throughput <= 0 {
+			continue
+		}
+		ratio := r.Throughput / b
+		status := "ok"
+		if r.Throughput < b/tolerance {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: shards=%-3d %8.0f -> %8.0f ops/s (%.2fx) %s\n",
+			r.Shards, b, r.Throughput, ratio, status)
+	}
+	if base.ScalingFactor > 0 && cur.ScalingFactor > 0 {
+		status := "ok"
+		if cur.ScalingFactor < base.ScalingFactor/tolerance {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: scaling factor %.2fx -> %.2fx %s\n",
+			base.ScalingFactor, cur.ScalingFactor, status)
+	}
+	return regressed, nil
+}
+
 func main() {
 	diffPath := flag.String("diff", "", "compare parsed results against this committed snapshot; exit 2 on ns/op regressions")
 	tolerance := flag.Float64("tolerance", 1.3, "with -diff, the allowed ns/op slowdown factor before a benchmark counts as regressed")
@@ -196,15 +260,25 @@ func main() {
 		}
 	}
 
-	// An object-shaped snapshot is a delayload service report: diff p99s
-	// and echo the current report through unchanged.
+	// An object-shaped snapshot is a delayload report: a "runs" key makes
+	// it a shard-scaling report (diff throughputs), otherwise it is a
+	// service report (diff p99s). Either way the current report echoes
+	// through unchanged.
 	if trimmed := bytes.TrimSpace(snapshot); len(trimmed) > 0 && trimmed[0] == '{' {
 		current, err := io.ReadAll(os.Stdin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		regressed, err := diffService(current, snapshot, *tolerance)
+		var probe struct {
+			Runs json.RawMessage `json:"runs"`
+		}
+		var regressed bool
+		if json.Unmarshal(snapshot, &probe) == nil && len(probe.Runs) > 0 {
+			regressed, err = diffShards(current, snapshot, *tolerance)
+		} else {
+			regressed, err = diffService(current, snapshot, *tolerance)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)

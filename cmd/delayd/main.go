@@ -7,22 +7,33 @@
 // Usage:
 //
 //	delayd [-addr :8080] [-algo integrated] (-spec net.json | -tandem 4 [-load 0.5])
+//	       [-shards 1] [-network id=spec.json ...]
 //	       [-cache 256] [-timeout 10s] [-analyze-timeout 5s] [-max-inflight 64]
 //	       [-max-body 1048576] [-shutdown-grace 10s] [-incremental=true] [-pprof]
 //
-// Endpoints (see docs/SERVICE.md for the full reference; the unprefixed
-// pre-versioning spellings still work but answer with a Deprecation
-// header):
+// The daemon serves one or more independent admission fabrics ("networks").
+// -spec/-tandem define the default network; each repeatable -network flag
+// registers an extra tenant with its own fabric, engine, cache, and
+// metrics. -shards partitions every network's engine by independent
+// subnetwork so disjoint workloads commit without contending.
 //
-//	POST   /v1/connections        test-and-admit a connection (dry_run supported)
-//	POST   /v1/batch              run an ordered mix of admit and release operations
-//	POST   /v1/admit/batch        deprecated admit-only batch (successor: /v1/batch)
-//	GET    /v1/connections        list the admitted set (limit/cursor paging, server= filter)
-//	DELETE /v1/connections/{name} release an admitted connection (reports the release mode)
-//	GET    /v1/stats              admission engine counters as stable JSON
-//	POST   /v1/analyze            run any analyzer over a posted netspec (cached)
-//	GET    /v1/metrics            counters, latency histograms, cache/fabric/engine gauges
-//	GET    /v1/healthz            liveness probe
+// Endpoints are network-scoped under /v2 (see docs/SERVICE.md for the full
+// reference; every /v1 and unprefixed pre-versioning spelling still works
+// against the default network but answers with a Deprecation header):
+//
+//	POST   /v2/networks/{id}/connections        test-and-admit a connection (dry_run supported)
+//	POST   /v2/networks/{id}/batch              run an ordered mix of admit and release operations
+//	GET    /v2/networks/{id}/connections        list the admitted set (limit/cursor paging, server= filter)
+//	DELETE /v2/networks/{id}/connections/{name} release an admitted connection (reports the release mode)
+//	GET    /v2/networks/{id}/stats              admission engine counters as stable JSON
+//	POST   /v2/networks/{id}/analyze            run any analyzer over a posted netspec (cached)
+//	GET    /v2/networks/{id}/metrics            counters, latency histograms, cache/fabric/engine gauges
+//	GET    /v2/networks                         list registered networks
+//	GET    /v2/healthz                          liveness probe (global)
+//
+// GET responses for connections, stats, and metrics answer from the latest
+// immutable promoted snapshot (a lock-free replica read) and carry its
+// version in the X-Snapshot-Version header.
 //
 // Admission tests run against immutable snapshots outside any lock; with
 // -incremental (the default, on analyzers that support it) each test
@@ -53,12 +64,26 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"delaycalc/internal/cliutil"
 	"delaycalc/internal/service"
 )
+
+// networkFlags collects repeatable -network id=spec.json values.
+type networkFlags []string
+
+func (f *networkFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *networkFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want id=spec.json, got %q", v)
+	}
+	*f = append(*f, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -74,9 +99,12 @@ func main() {
 		maxBody  = flag.Int64("max-body", service.DefaultMaxBodyBytes, "maximum request body bytes")
 		grace    = flag.Duration("shutdown-grace", 10*time.Second, "drain window after SIGINT/SIGTERM")
 		incr     = flag.Bool("incremental", true, "use incremental admission analysis when the analyzer supports it")
+		shards   = flag.Int("shards", 1, "engine shards per network (disjoint subnetworks commit independently)")
 		profile  = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 		verbose  = flag.Bool("v", false, "debug-level logging")
 	)
+	var extraNets networkFlags
+	flag.Var(&extraNets, "network", "register an extra tenant network as id=spec.json (repeatable)")
 	flag.Parse()
 
 	level := slog.LevelInfo
@@ -85,27 +113,30 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *analyzeT, *inflight, *maxBody, *grace, *incr, *profile); err != nil {
+	if err := run(logger, *addr, *specPath, *tandem, *load, *algo, *cacheSz, *timeout, *analyzeT, *inflight, *maxBody, *grace, *incr, *shards, extraNets, *profile); err != nil {
 		logger.Error("delayd exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, algo string,
-	cacheSz int, timeout, analyzeTimeout time.Duration, maxInFlight int, maxBody int64,
-	grace time.Duration, incremental, profile bool) error {
+// buildState loads a fabric, constructs its sharded admission state,
+// pre-admits the spec's deadline-bearing connections, and warms the
+// analysis baselines. Every network — default or tenant — boots through
+// this one path.
+func buildState(logger *slog.Logger, id, specPath string, tandem int, load float64,
+	algo string, shards int, incremental bool) (*service.State, int, error) {
 
 	analyzer, err := service.PickAnalyzer(algo)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	net, err := cliutil.LoadNetwork(specPath, tandem, load)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
-	state, err := service.NewState(net.Servers, analyzer)
+	state, err := service.NewStateShards(net.Servers, analyzer, shards)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if !incremental {
 		state.ForceFull()
@@ -117,29 +148,54 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 	if specPath != "" {
 		for _, conn := range net.Connections {
 			if conn.Deadline <= 0 {
-				logger.Warn("skipping spec connection without deadline", "connection", conn.Name)
+				logger.Warn("skipping spec connection without deadline", "network", id, "connection", conn.Name)
 				continue
 			}
 			d, err := state.Admit(conn)
 			if err != nil {
-				return fmt.Errorf("pre-admitting %q: %w", conn.Name, err)
+				return nil, 0, fmt.Errorf("network %q: pre-admitting %q: %w", id, conn.Name, err)
 			}
 			if !d.Admitted {
-				return fmt.Errorf("pre-admitting %q: rejected: %s", conn.Name, d.Reason)
+				return nil, 0, fmt.Errorf("network %q: pre-admitting %q: rejected: %s", id, conn.Name, d.Reason)
 			}
-			logger.Info("pre-admitted", "connection", conn.Name)
+			logger.Info("pre-admitted", "network", id, "connection", conn.Name)
 		}
 	}
 	// Warm the analysis baseline before serving so the first admission test
 	// (and the first release) runs incrementally instead of paying the full
 	// analysis inline.
 	if err := state.WarmBaseline(); err != nil {
-		return fmt.Errorf("warming analysis baseline: %w", err)
+		return nil, 0, fmt.Errorf("network %q: warming analysis baseline: %w", id, err)
+	}
+	return state, len(net.Servers), nil
+}
+
+func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, algo string,
+	cacheSz int, timeout, analyzeTimeout time.Duration, maxInFlight int, maxBody int64,
+	grace time.Duration, incremental bool, shards int, extraNets networkFlags, profile bool) error {
+
+	reg := service.NewRegistry()
+	state, nServers, err := buildState(logger, service.DefaultNetworkID, specPath, tandem, load, algo, shards, incremental)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Add(service.DefaultNetworkID, state, service.NewCache(cacheSz)); err != nil {
+		return err
+	}
+	for _, nf := range extraNets {
+		id, spec, _ := strings.Cut(nf, "=")
+		st, n, err := buildState(logger, id, spec, 0, load, algo, shards, incremental)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Add(id, st, service.NewCache(cacheSz)); err != nil {
+			return fmt.Errorf("-network %q: %w", nf, err)
+		}
+		logger.Info("registered network", "id", id, "spec", spec, "servers", n, "admitted", st.Count())
 	}
 
 	api, err := service.NewServer(service.Config{
-		State:          state,
-		Cache:          service.NewCache(cacheSz),
+		Registry:       reg,
 		Logger:         logger,
 		RequestTimeout: timeout,
 		AnalyzeTimeout: analyzeTimeout,
@@ -184,9 +240,9 @@ func run(logger *slog.Logger, addr, specPath string, tandem int, load float64, a
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("delayd listening", "addr", addr, "algo", analyzer.Name(),
-			"incremental", state.Engine().Incremental(),
-			"servers", len(net.Servers), "admitted", state.Count())
+		logger.Info("delayd listening", "addr", addr, "algo", algo,
+			"incremental", state.Engine().Incremental(), "shards", state.Shards(),
+			"networks", reg.Len(), "servers", nServers, "admitted", state.Count())
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -8,26 +8,41 @@
 // Usage:
 //
 //	delayload [-target http://host:8080 -servers s0,s1,...] | [-self 8]
-//	          [-duration 10s] [-concurrency 4] [-mix 6:3:1] [-rate 0]
-//	          [-seed 1] [-rho 0.002] [-deadline 100] [-out BENCH_service.json]
-//	          [-gate-release-factor 0]
+//	          [-network default] [-duration 10s] [-concurrency 4] [-mix 6:3:1]
+//	          [-rate 0] [-seed 1] [-rho 0.002] [-deadline 100]
+//	          [-out BENCH_service.json] [-gate-release-factor 0]
+//
+//	delayload -shards 1,2,4,8 [-blocks 8] [-block-switches 3] ...
+//	          [-out BENCH_shards.json] [-gate-scaling 0]
 //
 // With -target, delayload aims at a running delayd and -servers must name
 // the fabric servers in path order (generated connections take random
 // contiguous sub-paths). Without -target, delayload starts an in-process
 // delayd over a -self N-server tandem on a loopback listener and drives
-// that — the configuration the CI smoke job uses.
+// that — the configuration the CI smoke job uses. Operations go through
+// the network-scoped /v2 API against the -network tenant.
 //
 // Each worker runs a closed loop: it issues one operation, waits for the
 // response, records the latency under the operation's class, and issues
 // the next. -rate caps the aggregate operation rate (0 = unthrottled).
 // The -mix a:r:b weights choose between single admissions (POST
-// /v1/connections), releases of previously admitted connections (DELETE
-// /v1/connections/{name}), and small mixed batches (POST /v1/batch).
+// .../connections), releases of previously admitted connections (DELETE
+// .../connections/{name}), and small mixed batches (POST .../batch).
 //
 // -gate-release-factor F makes delayload exit non-zero when the release
 // path's p99 exceeds the admit path's p99 by more than a factor of F —
 // the CI regression gate for the incremental-release work.
+//
+// -shards runs the shard-scaling benchmark instead: for each listed shard
+// count it starts a fresh in-process daemon over a -blocks disjoint-block
+// fabric (topo.DisjointBlocks) whose engine is partitioned into that many
+// shards, pins every worker's workload inside one block (so operations
+// stay component-local and shard-local), repeats the same closed-loop
+// churn, and writes all runs to one report under a top-level "runs" key —
+// committed per PR as BENCH_shards.json. -gate-scaling F fails the run
+// when throughput at 4 shards (or the largest count) is less than F times
+// the 1-shard throughput — the CI gate proving admission throughput
+// scales with shard count on disjoint workloads.
 package main
 
 import (
@@ -53,6 +68,7 @@ import (
 	"delaycalc/internal/netspec"
 	"delaycalc/internal/server"
 	"delaycalc/internal/service"
+	"delaycalc/internal/topo"
 )
 
 func main() {
@@ -60,6 +76,7 @@ func main() {
 	flag.StringVar(&cfg.target, "target", "", "base URL of a running delayd (empty: start one in-process)")
 	flag.StringVar(&cfg.servers, "servers", "", "comma-separated fabric server names in path order (required with -target)")
 	flag.IntVar(&cfg.self, "self", 8, "tandem size of the in-process daemon (without -target)")
+	flag.StringVar(&cfg.network, "network", service.DefaultNetworkID, "tenant network the /v2 operations are scoped to")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window")
 	flag.IntVar(&cfg.concurrency, "concurrency", 4, "closed-loop workers")
 	flag.StringVar(&cfg.mix, "mix", "6:3:1", "admit:release:batch operation weights")
@@ -70,8 +87,30 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "BENCH_service.json", "report path (empty: stdout only)")
 	flag.Float64Var(&cfg.gateReleaseFactor, "gate-release-factor", 0,
 		"fail when release p99 > admit p99 x this factor (0 disables the gate)")
+	flag.StringVar(&cfg.shards, "shards", "", "comma-separated shard counts: run the shard-scaling sweep instead of a single load run")
+	flag.IntVar(&cfg.blocks, "blocks", 8, "disjoint fabric blocks in the sweep fabric (with -shards)")
+	flag.IntVar(&cfg.blockSwitches, "block-switches", 3, "tandem switches per block (with -shards)")
+	flag.IntVar(&cfg.prefill, "prefill", 0, "connections admitted per block before the timed window (with -shards)")
+	flag.Float64Var(&cfg.gateScaling, "gate-scaling", 0,
+		"fail when throughput at 4 (or max) shards < 1-shard throughput x this factor (0 disables the gate)")
 	flag.Parse()
 
+	if cfg.shards != "" {
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			cfg.out = "BENCH_shards.json"
+		}
+		if err := runShardSweep(&cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "delayload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(&cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "delayload:", err)
 		os.Exit(1)
@@ -81,6 +120,7 @@ func main() {
 type config struct {
 	target, servers   string
 	self              int
+	network           string
 	duration          time.Duration
 	concurrency       int
 	mix               string
@@ -89,7 +129,17 @@ type config struct {
 	rho, deadline     float64
 	out               string
 	gateReleaseFactor float64
+
+	// Shard-scaling sweep (-shards).
+	shards        string
+	blocks        int
+	blockSwitches int
+	prefill       int
+	gateScaling   float64
 }
+
+// apiPrefix is the network-scoped /v2 path prefix operations run under.
+func apiPrefix(network string) string { return "/v2/networks/" + network }
 
 // opStats is the per-class section of the report.
 type opStats struct {
@@ -107,6 +157,7 @@ type opStats struct {
 // report is the BENCH_service.json schema.
 type report struct {
 	Target      string             `json:"target"`
+	Network     string             `json:"network,omitempty"`
 	Duration    float64            `json:"duration_seconds"`
 	Concurrency int                `json:"concurrency"`
 	Mix         string             `json:"mix"`
@@ -115,8 +166,35 @@ type report struct {
 	TotalOps    int                `json:"total_ops"`
 	Throughput  float64            `json:"ops_per_sec"`
 	Ops         map[string]opStats `json:"ops"`
-	// EngineStats is the daemon's GET /v1/stats document after the run.
+	// EngineStats is the daemon's network-scoped stats document after the run.
 	EngineStats json.RawMessage `json:"engine_stats,omitempty"`
+}
+
+// shardRun is one sweep measurement in the BENCH_shards.json report.
+type shardRun struct {
+	Shards            int                `json:"shards"`
+	Duration          float64            `json:"duration_seconds"`
+	TotalOps          int                `json:"total_ops"`
+	Throughput        float64            `json:"ops_per_sec"`
+	CrossShardCommits uint64             `json:"cross_shard_commits"`
+	CommitConflicts   uint64             `json:"commit_conflicts"`
+	Ops               map[string]opStats `json:"ops"`
+}
+
+// shardReport is the BENCH_shards.json schema. The top-level "runs" key is
+// what benchjson keys its scaling diff mode on.
+type shardReport struct {
+	Blocks        int        `json:"blocks"`
+	BlockSwitches int        `json:"block_switches"`
+	Prefill       int        `json:"prefill,omitempty"`
+	Duration      float64    `json:"duration_seconds"`
+	Concurrency   int        `json:"concurrency"`
+	Mix           string     `json:"mix"`
+	Seed          int64      `json:"seed"`
+	Runs          []shardRun `json:"runs"`
+	ScalingFrom   int        `json:"scaling_from_shards"`
+	ScalingTo     int        `json:"scaling_to_shards"`
+	ScalingFactor float64    `json:"scaling_factor"`
 }
 
 // recorder accumulates one operation class's latencies inside a worker.
@@ -199,12 +277,58 @@ func selfServe(n int) (base string, names []string, shutdown func(), err error) 
 	return "http://" + ln.Addr().String(), names, shutdown, nil
 }
 
+// selfServeBlocks starts an in-process delayd over a disjoint-block fabric
+// whose engine is partitioned into the given shard count, and returns the
+// per-block server name groups so the sweep can pin each worker's workload
+// inside one block (component-local, hence shard-local, operations).
+func selfServeBlocks(blocks, switches, shards int) (base string, blockNames [][]string, shutdown func(), err error) {
+	net, err := topo.DisjointBlocks(blocks, switches, 0.5)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	state, err := service.NewStateShards(net.Servers, analysis.Integrated{}, shards)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if err := state.WarmBaseline(); err != nil {
+		return "", nil, nil, err
+	}
+	api, err := service.NewServer(service.Config{
+		State:  state,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return "", nil, nil, err
+	}
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: api}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	blockNames = make([][]string, blocks)
+	for b := 0; b < blocks; b++ {
+		group := make([]string, switches)
+		for j := 0; j < switches; j++ {
+			group[j] = net.Servers[b*switches+j].Name
+		}
+		blockNames[b] = group
+	}
+	return "http://" + ln.Addr().String(), blockNames, shutdown, nil
+}
+
 // worker is one closed loop: it owns a pool of the connections it has
 // admitted (so its releases never race another worker's) and one recorder
 // per operation class.
 type worker struct {
 	id      int
 	base    string
+	prefix  string // network-scoped /v2 path prefix
 	client  *http.Client
 	rng     *rand.Rand
 	names   []string // fabric servers in path order
@@ -275,7 +399,7 @@ func (w *worker) doAdmit() {
 	rec := w.recordFor("admit")
 	spec := w.connSpec()
 	start := time.Now()
-	resp, data, err := w.post("/v1/connections", service.AdmitRequest{Connection: spec})
+	resp, data, err := w.post(w.prefix+"/connections", service.AdmitRequest{Connection: spec})
 	elapsed := time.Since(start)
 	if err != nil || resp.StatusCode != http.StatusOK {
 		rec.errors++
@@ -301,7 +425,7 @@ func (w *worker) doRelease() {
 	name := w.pool[i]
 	w.pool = append(w.pool[:i], w.pool[i+1:]...)
 	start := time.Now()
-	req, err := http.NewRequest(http.MethodDelete, w.base+"/v1/connections/"+name, nil)
+	req, err := http.NewRequest(http.MethodDelete, w.base+w.prefix+"/connections/"+name, nil)
 	if err != nil {
 		rec.errors++
 		return
@@ -338,7 +462,7 @@ func (w *worker) doBatch() {
 		ops = append(ops, service.BatchOp{Op: "release", Name: releasing})
 	}
 	start := time.Now()
-	resp, data, err := w.post("/v1/batch", service.BatchRequest{Operations: ops})
+	resp, data, err := w.post(w.prefix+"/batch", service.BatchRequest{Operations: ops})
 	elapsed := time.Since(start)
 	if err != nil || resp.StatusCode != http.StatusOK {
 		rec.errors++
@@ -386,39 +510,21 @@ func (w *worker) loop(ctx context.Context) {
 	}
 }
 
-func run(cfg *config, out io.Writer) error {
+// measure runs the closed-loop workload against base for cfg.duration and
+// returns the merged percentile report. namesFor assigns each worker the
+// fabric server names (in path order) its generated connections run over —
+// the sweep uses it to pin workers inside disjoint blocks. poolFor (may be
+// nil) seeds each worker's release pool with already-admitted connections.
+func measure(cfg *config, base string, namesFor, poolFor func(workerID int) []string) (*report, error) {
 	wAdmit, wRel, wBatch, err := parseMix(cfg.mix)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if cfg.concurrency < 1 {
-		return fmt.Errorf("concurrency must be at least 1")
+		return nil, fmt.Errorf("concurrency must be at least 1")
 	}
 	if cfg.duration <= 0 {
-		return fmt.Errorf("duration must be positive")
-	}
-
-	base := cfg.target
-	var names []string
-	if base == "" {
-		if cfg.self < 1 {
-			return fmt.Errorf("-self must be at least 1 without -target")
-		}
-		var shutdown func()
-		base, names, shutdown, err = selfServe(cfg.self)
-		if err != nil {
-			return err
-		}
-		defer shutdown()
-	} else {
-		for _, n := range strings.Split(cfg.servers, ",") {
-			if n = strings.TrimSpace(n); n != "" {
-				names = append(names, n)
-			}
-		}
-		if len(names) == 0 {
-			return fmt.Errorf("-target requires -servers with the fabric server names in path order")
-		}
+		return nil, fmt.Errorf("duration must be positive")
 	}
 
 	var ticker *time.Ticker
@@ -438,14 +544,18 @@ func run(cfg *config, out io.Writer) error {
 		workers[i] = &worker{
 			id:     i,
 			base:   base,
+			prefix: apiPrefix(cfg.network),
 			client: &http.Client{Timeout: 30 * time.Second},
 			rng:    rand.New(rand.NewSource(cfg.seed + int64(i)*7919)),
-			names:  names,
+			names:  namesFor(i),
 			rho:    cfg.rho,
 			deadl:  cfg.deadline,
 			rec:    make(map[string]*recorder),
 			tick:   tick,
 			wAdmit: wAdmit, wRel: wRel, wBatch: wBatch,
+		}
+		if poolFor != nil {
+			workers[i].pool = append(workers[i].pool, poolFor(i)...)
 		}
 		wg.Add(1)
 		go func(w *worker) { defer wg.Done(); w.loop(ctx) }(workers[i])
@@ -453,8 +563,9 @@ func run(cfg *config, out io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := report{
+	rep := &report{
 		Target:      base,
+		Network:     cfg.network,
 		Duration:    elapsed.Seconds(),
 		Concurrency: cfg.concurrency,
 		Mix:         cfg.mix,
@@ -503,12 +614,47 @@ func run(cfg *config, out io.Writer) error {
 	rep.Throughput = float64(rep.TotalOps) / elapsed.Seconds()
 
 	// Attach the daemon's own counters so the report records how much of
-	// the churn ran incrementally.
-	if resp, err := http.Get(base + "/v1/stats"); err == nil {
+	// the churn ran incrementally (and, sharded, how it spread).
+	if resp, err := http.Get(base + apiPrefix(cfg.network) + "/stats"); err == nil {
 		if data, err := io.ReadAll(resp.Body); err == nil && resp.StatusCode == http.StatusOK {
 			rep.EngineStats = json.RawMessage(data)
 		}
 		resp.Body.Close()
+	}
+	return rep, nil
+}
+
+func run(cfg *config, out io.Writer) error {
+	if cfg.network == "" {
+		cfg.network = service.DefaultNetworkID
+	}
+	base := cfg.target
+	var names []string
+	if base == "" {
+		if cfg.self < 1 {
+			return fmt.Errorf("-self must be at least 1 without -target")
+		}
+		var shutdown func()
+		var err error
+		base, names, shutdown, err = selfServe(cfg.self)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	} else {
+		for _, n := range strings.Split(cfg.servers, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("-target requires -servers with the fabric server names in path order")
+		}
+	}
+
+	rep, err := measure(cfg, base, func(int) []string { return names }, nil)
+	if err != nil {
+		return err
 	}
 
 	classes := make([]string, 0, len(rep.Ops))
@@ -557,4 +703,198 @@ func run(cfg *config, out io.Writer) error {
 		}
 	}
 	return errors.Join(failures...)
+}
+
+// parseShardList parses the -shards value into ascending-ordered counts.
+func parseShardList(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("shards %q: counts must be positive integers", s)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("shards %q: no counts", s)
+	}
+	sort.Ints(counts)
+	return counts, nil
+}
+
+// prefillBlocks admits cfg.prefill connections per block before the timed
+// window so the engines start with a realistic standing admitted set, and
+// hands the admitted names out as the workers' initial release pools (each
+// worker gets prefilled connections from the block it is pinned to).
+func prefillBlocks(cfg *config, base string, blockNames [][]string) ([][]string, error) {
+	pools := make([][]string, cfg.concurrency)
+	if cfg.prefill <= 0 {
+		return pools, nil
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	for b, names := range blockNames {
+		// Workers pinned to this block (i % blocks == b) share its prefill.
+		var owners []int
+		for i := 0; i < cfg.concurrency; i++ {
+			if i%len(blockNames) == b {
+				owners = append(owners, i)
+			}
+		}
+		for j := 0; j < cfg.prefill; j++ {
+			hops := 2
+			if len(names) < 2 {
+				hops = len(names)
+			}
+			start := j % (len(names) - hops + 1)
+			path := make([]json.RawMessage, hops)
+			for k, name := range names[start : start+hops] {
+				raw, _ := json.Marshal(name)
+				path[k] = raw
+			}
+			spec := netspec.ConnectionSpec{
+				Name:       fmt.Sprintf("pf%dx%d", b, j),
+				Sigma:      1,
+				Rho:        cfg.rho,
+				AccessRate: 1,
+				Path:       path,
+				Deadline:   cfg.deadline,
+			}
+			raw, _ := json.Marshal(service.AdmitRequest{Connection: spec})
+			resp, err := client.Post(base+apiPrefix(cfg.network)+"/connections", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				return nil, err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("admitting %s: status %d: %s", spec.Name, resp.StatusCode, data)
+			}
+			var ar service.AdmitResponse
+			if json.Unmarshal(data, &ar) != nil || !ar.Admitted {
+				// The fabric is full at this rho; a partial prefill still
+				// serves its purpose (a standing admitted set).
+				break
+			}
+			if len(owners) > 0 {
+				owner := owners[j%len(owners)]
+				pools[owner] = append(pools[owner], spec.Name)
+			}
+		}
+	}
+	return pools, nil
+}
+
+// runShardSweep measures the same closed-loop churn once per shard count
+// over a disjoint-block fabric, with every worker pinned inside one block
+// so operations stay shard-local, and writes all runs to one report.
+func runShardSweep(cfg *config, out io.Writer) error {
+	counts, err := parseShardList(cfg.shards)
+	if err != nil {
+		return err
+	}
+	if cfg.target != "" {
+		return fmt.Errorf("-shards starts its own in-process daemons and cannot be combined with -target")
+	}
+	if cfg.network == "" {
+		cfg.network = service.DefaultNetworkID
+	}
+	if cfg.network != service.DefaultNetworkID {
+		return fmt.Errorf("-shards drives the in-process daemon's default network, not -network %q", cfg.network)
+	}
+	if cfg.blocks < counts[len(counts)-1] {
+		return fmt.Errorf("-blocks %d < max shard count %d: shards beyond the block count would idle",
+			cfg.blocks, counts[len(counts)-1])
+	}
+
+	sweep := shardReport{
+		Blocks:        cfg.blocks,
+		BlockSwitches: cfg.blockSwitches,
+		Prefill:       cfg.prefill,
+		Duration:      cfg.duration.Seconds(),
+		Concurrency:   cfg.concurrency,
+		Mix:           cfg.mix,
+		Seed:          cfg.seed,
+	}
+	fmt.Fprintf(out, "delayload: shard sweep over %d disjoint blocks x %d switches, %d workers, %s each\n",
+		cfg.blocks, cfg.blockSwitches, cfg.concurrency, cfg.duration)
+	for _, shards := range counts {
+		base, blockNames, shutdown, err := selfServeBlocks(cfg.blocks, cfg.blockSwitches, shards)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		pools, err := prefillBlocks(cfg, base, blockNames)
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("shards=%d: prefill: %w", shards, err)
+		}
+		rep, err := measure(cfg, base,
+			func(i int) []string { return blockNames[i%len(blockNames)] },
+			func(i int) []string { return pools[i] })
+		shutdown()
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		run := shardRun{
+			Shards:     shards,
+			Duration:   rep.Duration,
+			TotalOps:   rep.TotalOps,
+			Throughput: rep.Throughput,
+			Ops:        rep.Ops,
+		}
+		var stats service.StatsResponse
+		if len(rep.EngineStats) > 0 && json.Unmarshal(rep.EngineStats, &stats) == nil {
+			run.CrossShardCommits = stats.CrossShardCommits
+			run.CommitConflicts = stats.CommitConflicts
+		}
+		sweep.Runs = append(sweep.Runs, run)
+		fmt.Fprintf(out, "shards=%d: %d ops in %.1fs (%.0f ops/s), %d cross-shard commits, %d conflicts\n",
+			shards, run.TotalOps, run.Duration, run.Throughput, run.CrossShardCommits, run.CommitConflicts)
+		for class, st := range run.Ops {
+			if st.Errors > 0 {
+				return fmt.Errorf("shards=%d: %d %s operations failed", shards, st.Errors, class)
+			}
+		}
+	}
+
+	// The scaling factor compares the 1-shard (or smallest measured) run
+	// against 4 shards when measured, else the largest count.
+	from, to := sweep.Runs[0], sweep.Runs[len(sweep.Runs)-1]
+	for _, r := range sweep.Runs {
+		if r.Shards == 4 {
+			to = r
+		}
+	}
+	sweep.ScalingFrom, sweep.ScalingTo = from.Shards, to.Shards
+	if from.Throughput > 0 {
+		sweep.ScalingFactor = to.Throughput / from.Throughput
+	}
+	fmt.Fprintf(out, "scaling: %.2fx ops/s going from %d to %d shards\n",
+		sweep.ScalingFactor, sweep.ScalingFrom, sweep.ScalingTo)
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", cfg.out)
+	}
+
+	if cfg.gateScaling > 0 {
+		if sweep.ScalingFrom == sweep.ScalingTo {
+			return fmt.Errorf("scaling gate needs at least two distinct shard counts")
+		}
+		if sweep.ScalingFactor < cfg.gateScaling {
+			return fmt.Errorf("scaling gate: %.2fx (%d -> %d shards) below required %.1fx",
+				sweep.ScalingFactor, sweep.ScalingFrom, sweep.ScalingTo, cfg.gateScaling)
+		}
+		fmt.Fprintf(out, "scaling gate ok: %.2fx >= %.1fx\n", sweep.ScalingFactor, cfg.gateScaling)
+	}
+	return nil
 }

@@ -147,6 +147,12 @@ type Engine struct {
 	affBucket   []atomic.Uint64
 	affCount    atomic.Uint64
 	affSum      atomic.Uint64
+	// warmBusy/warmDirty implement the single-owner background baseline
+	// warmer: at most one warm goroutine runs per engine, and a compaction
+	// landing while it runs marks it dirty so the warmer re-checks the
+	// (possibly newer) current snapshot before exiting.
+	warmBusy  atomic.Bool
+	warmDirty atomic.Bool
 }
 
 // NewEngine builds an engine over the given fabric. The analyzer's
@@ -298,6 +304,12 @@ func (s *Snapshot) baseline() (*analysis.Baseline, error) {
 		return s.promoted, nil
 	}
 	s.baseOnce.Do(func() {
+		// inc can be nil here when ForceFull raced a stale warm goroutine;
+		// the guard keeps the snapshot baseline-less instead of panicking.
+		if s.eng.inc == nil {
+			s.baseErr = fmt.Errorf("admission: incremental path disabled")
+			return
+		}
 		s.base, s.baseErr = s.eng.inc.NewBaseline(s.network())
 		if s.baseErr == nil {
 			s.eng.epoch.Add(1)
@@ -550,21 +562,59 @@ func (e *Engine) Release(name string) (ReleaseInfo, bool) {
 			} else {
 				e.compactRels.Add(1)
 				if e.inc != nil && e.prewarm {
-					// Background re-promotion: rebuild the compacted
-					// snapshot's baseline off the request path. The build
-					// lands in the snapshot's lazy slot, so a test arriving
-					// mid-build joins it instead of starting a second full
-					// analysis, and a test arriving after finds it warm. If
-					// the snapshot has already been superseded the result is
-					// simply never read.
-					next := e.snap.Load()
-					go func() { _, _ = next.baseline() }()
+					e.scheduleWarm()
 				}
 			}
 			return info, true
 		}
 		e.conflicts.Add(1)
 	}
+}
+
+// scheduleWarm requests a background re-promotion of the current snapshot's
+// baseline. The engine owns exactly one warmer goroutine at a time: earlier
+// code spawned a detached goroutine per compacted release, so a release
+// racing a concurrent admit on the same component could leave several full
+// analyses running against superseded snapshots, each briefly claiming the
+// lazy slot a fresh test was about to join. The warmer always re-reads the
+// *current* snapshot, and the dirty flag closes the lost-wakeup window: a
+// compaction that lands while a warm is in flight re-runs the loop instead
+// of being dropped.
+func (e *Engine) scheduleWarm() {
+	e.warmDirty.Store(true)
+	if !e.warmBusy.CompareAndSwap(false, true) {
+		return // an active warmer will observe the dirty flag
+	}
+	go func() {
+		for {
+			for e.warmDirty.Swap(false) {
+				if e.inc == nil {
+					break
+				}
+				_, _ = e.Snapshot().baseline()
+			}
+			e.warmBusy.Store(false)
+			// Re-check: a scheduleWarm between the last Swap and the
+			// busy reset would otherwise be lost.
+			if !e.warmDirty.Load() || !e.warmBusy.CompareAndSwap(false, true) {
+				return
+			}
+		}
+	}()
+}
+
+// replaceAdmitted installs a wholesale new admitted set as the next
+// version: an epoch-stamped compaction commit with no baseline, used by
+// ShardedEngine when a cross-shard admission or a rebalance migrates
+// connections between shards. The next incremental test (or a scheduled
+// warm) rebuilds the baseline lazily.
+func (e *Engine) replaceAdmitted(conns []topo.Connection) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	next := &Snapshot{eng: e, version: cur.version + 1}
+	next.admitted = append(next.admitted, conns...)
+	e.snap.Store(next)
 }
 
 // commitRemove installs snap minus index idx as the next version iff snap

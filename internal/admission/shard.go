@@ -1,0 +1,893 @@
+// Sharded admission control over independent subnetworks.
+//
+// The paper's decomposition only couples connections through shared
+// servers: admissions whose routes live in disjoint server-sharing
+// components are provably independent (the contracted dependency graph
+// never bridges components, see analysis.Components), yet a single Engine
+// serializes them through one snapshot chain — every commit invalidates
+// every concurrent test. ShardedEngine runs one Engine per shard, each
+// with its own versioned snapshot chain, baseline, and commit loop, and
+// routes operations to shards by the candidate's component. Disjoint
+// workloads therefore test and commit fully in parallel; only an
+// operation whose closure spans shards (two components merging through a
+// new route) or a rebalance after a release falls back to a global
+// epoch-stamped commit under an exclusive lock.
+//
+// Sharding invariants:
+//
+//   - Every server is owned by at most one shard (router.owner); a shard
+//     owns a server while at least one of its committed connections
+//     traverses it (router.refs).
+//   - A connection's entire route is owned by its shard, so each shard's
+//     admitted set is a union of whole components and its local analysis
+//     is bit-identical to the full-network analysis restricted to those
+//     components.
+//   - Cross-shard operations run under the exclusive lock, so they observe
+//     no in-flight shard-local operations and can migrate whole components
+//     between shards atomically (epoch-stamped replaceAdmitted commits).
+//
+// Unlike Engine, a multi-shard engine requires admitted connection names
+// to be unique: routing and release resolve connections by name.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+// ShardedEngine is a goroutine-safe admission controller that partitions
+// the fabric into independent components and serves each from its own
+// Engine shard. With one shard it is a transparent wrapper around Engine
+// (same decisions, same counters, no routing overhead).
+type ShardedEngine struct {
+	servers  []server.Server
+	analyzer analysis.Analyzer
+	shards   []*Engine
+
+	// mu is the sharding protocol lock: shard-local operations hold it
+	// shared (they may run concurrently with each other), cross-shard
+	// commits and rebalances hold it exclusively. It never serializes two
+	// operations on disjoint components.
+	mu     sync.RWMutex
+	router shardRouter
+
+	crossTests   atomic.Uint64
+	crossCommits atomic.Uint64
+	rebalances   atomic.Uint64
+}
+
+// shardRouter maps servers and committed connections to shards. All
+// fields are guarded by its own mutex; routing decisions are O(route).
+type shardRouter struct {
+	mu    sync.Mutex
+	owner []int // server -> shard id, -1 while unowned
+	refs  []int // server -> committed+in-flight connections traversing it
+	load  []int // shard -> committed connections
+	conns map[string]*routedConn
+	// pending names claimed by in-flight admissions, so two concurrent
+	// admits of one name cannot both commit.
+	pending map[string]bool
+	seq     uint64 // global commit order stamp
+}
+
+// routedConn is the router's record of one committed connection.
+type routedConn struct {
+	shard int
+	seq   uint64
+	path  []int
+}
+
+// NewShardedEngine builds an engine with the given number of shards over
+// the fabric. Every shard sees the full server list, so server indices —
+// and therefore bounds — are identical to a single Engine's.
+func NewShardedEngine(servers []server.Server, analyzer analysis.Analyzer, shards int) (*ShardedEngine, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("admission: shard count %d < 1", shards)
+	}
+	se := &ShardedEngine{analyzer: analyzer}
+	for i := 0; i < shards; i++ {
+		eng, err := NewEngine(servers, analyzer)
+		if err != nil {
+			return nil, err
+		}
+		se.shards = append(se.shards, eng)
+	}
+	se.servers = se.shards[0].servers
+	se.router = shardRouter{
+		owner:   make([]int, len(se.servers)),
+		refs:    make([]int, len(se.servers)),
+		load:    make([]int, shards),
+		conns:   make(map[string]*routedConn),
+		pending: make(map[string]bool),
+	}
+	for i := range se.router.owner {
+		se.router.owner[i] = -1
+	}
+	return se, nil
+}
+
+// single returns the sole shard when sharding is off, else nil. The
+// single-shard engine bypasses the router entirely so its behavior —
+// including duplicate-name tolerance and operation ordering — is exactly
+// Engine's.
+func (se *ShardedEngine) single() *Engine {
+	if len(se.shards) == 1 {
+		return se.shards[0]
+	}
+	return nil
+}
+
+// Shards returns the number of engine shards.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Shard exposes one shard's engine for tests and diagnostics.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// Analyzer returns the analyzer admission tests run.
+func (se *ShardedEngine) Analyzer() analysis.Analyzer { return se.analyzer }
+
+// Incremental reports whether the incremental path is active.
+func (se *ShardedEngine) Incremental() bool { return se.shards[0].Incremental() }
+
+// Servers returns a copy of the fabric.
+func (se *ShardedEngine) Servers() []server.Server { return se.shards[0].Servers() }
+
+// ForceFull disables the incremental path on every shard.
+func (se *ShardedEngine) ForceFull() {
+	for _, sh := range se.shards {
+		sh.ForceFull()
+	}
+}
+
+// SetCompactionThreshold forwards to every shard; see Engine.
+func (se *ShardedEngine) SetCompactionThreshold(frac float64) {
+	for _, sh := range se.shards {
+		sh.SetCompactionThreshold(frac)
+	}
+}
+
+// SetBackgroundPromotion forwards to every shard; see Engine.
+func (se *ShardedEngine) SetBackgroundPromotion(on bool) {
+	for _, sh := range se.shards {
+		sh.SetBackgroundPromotion(on)
+	}
+}
+
+// ShardStat is a point-in-time summary of one shard.
+type ShardStat struct {
+	Admitted            int
+	Version             uint64
+	IncrementalTests    uint64
+	FullTests           uint64
+	IncrementalReleases uint64
+	CompactedReleases   uint64
+}
+
+// ShardedStats aggregates the per-shard engine counters plus the
+// cross-shard protocol counters.
+type ShardedStats struct {
+	Stats
+	// Shards is the configured shard count.
+	Shards int
+	// CrossShardCommits counts global epoch-stamped commits: component
+	// merges (an admission spanning shards) plus rebalances (a component
+	// migrated to an empty shard after a release split one).
+	CrossShardCommits uint64
+	// Rebalances counts the subset of CrossShardCommits that were
+	// release-triggered component migrations.
+	Rebalances uint64
+	// PerShard summarizes each shard.
+	PerShard []ShardStat
+}
+
+// Stats aggregates every shard's counters. The embedded Stats sums
+// field-wise across shards (cross-shard union analyses count as full
+// tests), so a one-shard engine reports exactly Engine.Stats.
+func (se *ShardedEngine) Stats() ShardedStats {
+	agg := ShardedStats{
+		Shards:            len(se.shards),
+		CrossShardCommits: se.crossCommits.Load() + se.rebalances.Load(),
+		Rebalances:        se.rebalances.Load(),
+	}
+	for _, sh := range se.shards {
+		st := sh.Stats()
+		snap := sh.Snapshot()
+		agg.IncrementalTests += st.IncrementalTests
+		agg.FullTests += st.FullTests
+		agg.IncrementalReleases += st.IncrementalReleases
+		agg.CompactedReleases += st.CompactedReleases
+		agg.BaselineEpoch += st.BaselineEpoch
+		agg.CommitConflicts += st.CommitConflicts
+		if agg.AffectedBuckets == nil {
+			agg.AffectedBuckets = make([]uint64, len(st.AffectedBuckets))
+		}
+		for i, v := range st.AffectedBuckets {
+			agg.AffectedBuckets[i] += v
+		}
+		agg.AffectedCount += st.AffectedCount
+		agg.AffectedSum += st.AffectedSum
+		agg.PerShard = append(agg.PerShard, ShardStat{
+			Admitted:            snap.Count(),
+			Version:             snap.Version(),
+			IncrementalTests:    st.IncrementalTests,
+			FullTests:           st.FullTests,
+			IncrementalReleases: st.IncrementalReleases,
+			CompactedReleases:   st.CompactedReleases,
+		})
+	}
+	agg.FullTests += se.crossTests.Load()
+	return agg
+}
+
+// SnapshotVersion is the engine's global version: the sum of the shard
+// snapshot versions. It increases with every commit anywhere and equals
+// Engine's snapshot version exactly when running with one shard.
+func (se *ShardedEngine) SnapshotVersion() uint64 {
+	var v uint64
+	for _, sh := range se.shards {
+		v += sh.Snapshot().Version()
+	}
+	return v
+}
+
+// ReadView is the replica-read path: a copy of the admitted set and the
+// global version, assembled lock-free from each shard's immutable current
+// snapshot. During a concurrent cross-shard migration a connection may
+// transiently appear in two shards (deduplicated here by name) or in
+// none; readers get eventual consistency, never a torn connection.
+func (se *ShardedEngine) ReadView() ([]topo.Connection, uint64) {
+	if eng := se.single(); eng != nil {
+		s := eng.Snapshot()
+		return s.Admitted(), s.Version()
+	}
+	var conns []topo.Connection
+	var version uint64
+	seen := make(map[string]bool)
+	for _, sh := range se.shards {
+		s := sh.Snapshot()
+		version += s.Version()
+		for _, c := range s.admitted {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			conns = append(conns, c)
+		}
+	}
+	return conns, version
+}
+
+// Admitted returns a copy of the currently admitted connections (shard
+// order, each shard in its own commit order; exactly Engine's order with
+// one shard).
+func (se *ShardedEngine) Admitted() []topo.Connection {
+	conns, _ := se.ReadView()
+	return conns
+}
+
+// Count returns the number of admitted connections.
+func (se *ShardedEngine) Count() int {
+	if eng := se.single(); eng != nil {
+		return eng.Count()
+	}
+	n := 0
+	for _, sh := range se.shards {
+		n += sh.Snapshot().Count()
+	}
+	return n
+}
+
+// Utilization returns the per-server utilization of the admitted set.
+func (se *ShardedEngine) Utilization() []float64 {
+	conns, _ := se.ReadView()
+	net := &topo.Network{Servers: se.servers, Connections: conns}
+	return net.Utilization()
+}
+
+// WarmBaseline synchronously materializes every shard's baseline.
+func (se *ShardedEngine) WarmBaseline() error {
+	for _, sh := range se.shards {
+		if err := sh.WarmBaseline(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ownersOf returns the distinct shards owning servers of the route, in
+// ascending order. Caller must hold r.mu.
+func (r *shardRouter) ownersOf(path []int) []int {
+	var owners []int
+	for _, s := range path {
+		o := r.owner[s]
+		if o < 0 {
+			continue
+		}
+		dup := false
+		for _, k := range owners {
+			if k == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners = append(owners, o)
+		}
+	}
+	sort.Ints(owners)
+	return owners
+}
+
+// leastLoaded picks the shard with the fewest committed connections
+// (lowest id on ties). Caller must hold r.mu.
+func (r *shardRouter) leastLoaded() int {
+	best := 0
+	for i := 1; i < len(r.load); i++ {
+		if r.load[i] < r.load[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// uniqueServers appends the distinct in-range servers of path to buf.
+func uniqueServers(buf []int, path []int, n int) []int {
+	for _, s := range path {
+		if s < 0 || s >= n {
+			continue
+		}
+		dup := false
+		for _, t := range buf {
+			if t == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, s)
+		}
+	}
+	return buf
+}
+
+// claim routes an admission candidate: it either pins the route's servers
+// to one shard (reserving them for the duration of the analysis) or
+// reports that the route spans shards (cross) or that the name is already
+// taken (dup). Caller must hold se.mu at least shared.
+func (r *shardRouter) claim(cand topo.Connection) (shard int, cross, dup bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conns[cand.Name] != nil || r.pending[cand.Name] {
+		return 0, false, true
+	}
+	owners := r.ownersOf(cand.Path)
+	if len(owners) > 1 {
+		return 0, true, false
+	}
+	if len(owners) == 1 {
+		shard = owners[0]
+	} else {
+		shard = r.leastLoaded()
+	}
+	for _, s := range uniqueServers(nil, cand.Path, len(r.owner)) {
+		if r.owner[s] < 0 {
+			r.owner[s] = shard
+		}
+		r.refs[s]++
+	}
+	r.pending[cand.Name] = true
+	return shard, false, false
+}
+
+// unclaim releases a claim after a rejected or failed admission.
+func (r *shardRouter) unclaim(cand topo.Connection) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pending, cand.Name)
+	r.dropRefs(cand.Path)
+}
+
+// dropRefs decrements the route's server refcounts, freeing ownership of
+// servers no committed or in-flight connection traverses anymore. Caller
+// must hold r.mu.
+func (r *shardRouter) dropRefs(path []int) {
+	for _, s := range uniqueServers(nil, path, len(r.owner)) {
+		r.refs[s]--
+		if r.refs[s] == 0 {
+			r.owner[s] = -1
+		}
+	}
+}
+
+// confirm converts a claim into a committed routing record and assigns
+// the connection its global commit sequence number.
+func (r *shardRouter) confirm(cand topo.Connection, shard int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pending, cand.Name)
+	r.conns[cand.Name] = &routedConn{shard: shard, seq: r.seq, path: cand.Path}
+	r.seq++
+	r.load[shard]++
+}
+
+// validRoute reports whether every hop is an in-range server index; the
+// router only tracks valid routes, invalid candidates go straight to a
+// shard engine for the canonical rejection.
+func (se *ShardedEngine) validRoute(cand topo.Connection) bool {
+	if cand.Deadline <= 0 || len(cand.Path) == 0 {
+		return false
+	}
+	for _, s := range cand.Path {
+		if s < 0 || s >= len(se.servers) {
+			return false
+		}
+	}
+	return true
+}
+
+// Test checks whether the candidate could be admitted; see Engine.Test.
+func (se *ShardedEngine) Test(cand topo.Connection) (Decision, error) {
+	return se.TestContext(context.Background(), cand)
+}
+
+// TestContext runs a dry admission test against the candidate's shard, or
+// against the cross-shard union snapshot when its route spans shards.
+func (se *ShardedEngine) TestContext(ctx context.Context, cand topo.Connection) (Decision, error) {
+	if eng := se.single(); eng != nil {
+		return eng.TestContext(ctx, cand)
+	}
+	return se.test(ctx, nil, cand)
+}
+
+// TestWith is the degraded-path dry test with an explicit analyzer.
+func (se *ShardedEngine) TestWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	if eng := se.single(); eng != nil {
+		return eng.TestWith(ctx, analyzer, cand)
+	}
+	return se.test(ctx, analyzer, cand)
+}
+
+// test is the multi-shard dry test: analyzer nil means the primary
+// analyzer on the shard's incremental path, non-nil forces a full
+// analysis with that analyzer (the degradation hook).
+func (se *ShardedEngine) test(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	if !se.validRoute(cand) {
+		if analyzer != nil {
+			return se.shards[0].TestWith(ctx, analyzer, cand)
+		}
+		return se.shards[0].TestContext(ctx, cand)
+	}
+	se.mu.RLock()
+	defer se.mu.RUnlock()
+	se.router.mu.Lock()
+	owners := se.router.ownersOf(cand.Path)
+	shard := se.router.leastLoaded()
+	if len(owners) == 1 {
+		shard = owners[0]
+	}
+	se.router.mu.Unlock()
+	if len(owners) <= 1 {
+		if analyzer != nil {
+			return se.shards[shard].TestWith(ctx, analyzer, cand)
+		}
+		return se.shards[shard].TestContext(ctx, cand)
+	}
+	union := se.gatherUnion(owners)
+	if analyzer == nil {
+		analyzer = se.analyzer
+	}
+	se.crossTests.Add(1)
+	d, err := se.unionTest(ctx, analyzer, union, cand)
+	return d, err
+}
+
+// Admit tests and commits the candidate; see Engine.Admit.
+func (se *ShardedEngine) Admit(cand topo.Connection) (Decision, error) {
+	return se.AdmitContext(context.Background(), cand)
+}
+
+// AdmitContext routes the admission to the candidate's shard. A candidate
+// whose route would merge components of different shards falls back to the
+// global cross-shard commit.
+func (se *ShardedEngine) AdmitContext(ctx context.Context, cand topo.Connection) (Decision, error) {
+	if eng := se.single(); eng != nil {
+		return eng.AdmitContext(ctx, cand)
+	}
+	return se.admit(ctx, nil, cand)
+}
+
+// AdmitWith is the degraded admission path; see Engine.AdmitWith.
+func (se *ShardedEngine) AdmitWith(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	if eng := se.single(); eng != nil {
+		return eng.AdmitWith(ctx, analyzer, cand)
+	}
+	return se.admit(ctx, analyzer, cand)
+}
+
+// admit is the multi-shard admission: claim the route, run the shard-local
+// engine under the shared lock, confirm or unclaim. analyzer nil selects
+// the primary incremental path.
+func (se *ShardedEngine) admit(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	if !se.validRoute(cand) {
+		// Invalid candidates never touch router state; the shard engine
+		// reproduces Engine's canonical decision and error.
+		if analyzer != nil {
+			return se.shards[0].AdmitWith(ctx, analyzer, cand)
+		}
+		return se.shards[0].AdmitContext(ctx, cand)
+	}
+	se.mu.RLock()
+	shard, cross, dup := se.router.claim(cand)
+	if dup {
+		se.mu.RUnlock()
+		return Decision{Code: CodeInvalidSpec, Reason: fmt.Sprintf("connection %q already admitted", cand.Name)},
+			fmt.Errorf("admission: connection %q already admitted", cand.Name)
+	}
+	if cross {
+		se.mu.RUnlock()
+		return se.admitCross(ctx, analyzer, cand)
+	}
+	var d Decision
+	var err error
+	if analyzer != nil {
+		d, err = se.shards[shard].AdmitWith(ctx, analyzer, cand)
+	} else {
+		d, err = se.shards[shard].AdmitContext(ctx, cand)
+	}
+	if err == nil && d.Admitted {
+		se.router.confirm(cand, shard)
+	} else {
+		se.router.unclaim(cand)
+	}
+	se.mu.RUnlock()
+	return d, err
+}
+
+// seqConn pairs a committed connection with its global commit stamp.
+type seqConn struct {
+	conn  topo.Connection
+	seq   uint64
+	shard int
+}
+
+// gatherUnion assembles the admitted sets of the given shards in global
+// commit order. Connections a concurrent commit has installed in a shard
+// snapshot but not yet confirmed in the router sort after all confirmed
+// ones, preserving snapshot order (only reachable from the dry-test path;
+// cross-shard commits hold the exclusive lock and see no such gap).
+func (se *ShardedEngine) gatherUnion(owners []int) []seqConn {
+	var union []seqConn
+	se.router.mu.Lock()
+	defer se.router.mu.Unlock()
+	pendingSeq := uint64(math.MaxUint64/2) + 1
+	for _, o := range owners {
+		snap := se.shards[o].Snapshot()
+		for _, c := range snap.admitted {
+			sc := seqConn{conn: c, shard: o}
+			if rc := se.router.conns[c.Name]; rc != nil && rc.shard == o {
+				sc.seq = rc.seq
+			} else {
+				sc.seq = pendingSeq
+				pendingSeq++
+			}
+			union = append(union, sc)
+		}
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i].seq < union[j].seq })
+	return union
+}
+
+// unionTest runs one full admission analysis over the union of the
+// involved shards plus the candidate. Because every server the trial
+// loads is owned by an involved shard, stability and deadline checks over
+// the union are identical to the full network's (uninvolved components
+// cannot interact with it).
+func (se *ShardedEngine) unionTest(ctx context.Context, analyzer analysis.Analyzer, union []seqConn, cand topo.Connection) (Decision, error) {
+	trial := &topo.Network{Servers: se.servers}
+	for _, sc := range union {
+		trial.Connections = append(trial.Connections, sc.conn)
+	}
+	trial.Connections = append(trial.Connections, cand)
+	if err := trial.Validate(); err != nil {
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, err
+	}
+	if !trial.Stable() {
+		return Decision{Code: CodeUnstable, Reason: "network would be unstable"}, nil
+	}
+	res, err := analysis.AnalyzeWithContext(ctx, analyzer, trial)
+	if err != nil {
+		if IsCanceled(err) {
+			return Decision{}, err
+		}
+		return Decision{Code: CodeInvalidSpec, Reason: err.Error()}, err
+	}
+	return evaluate(trial, res), nil
+}
+
+// admitCross admits a candidate whose route spans shards: under the
+// exclusive lock (no shard-local operation in flight) it analyzes the
+// union of the involved shards plus the candidate, and on success migrates
+// the candidate's merged component into one winner shard with epoch-
+// stamped commits on every involved engine.
+func (se *ShardedEngine) admitCross(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.router.conns[cand.Name] != nil {
+		return Decision{Code: CodeInvalidSpec, Reason: fmt.Sprintf("connection %q already admitted", cand.Name)},
+			fmt.Errorf("admission: connection %q already admitted", cand.Name)
+	}
+	se.router.mu.Lock()
+	owners := se.router.ownersOf(cand.Path)
+	se.router.mu.Unlock()
+	if len(owners) <= 1 {
+		// The spanning components vanished before we got the lock (their
+		// connections were released); retry as a plain shard-local op.
+		shard := 0
+		if len(owners) == 1 {
+			shard = owners[0]
+		} else {
+			se.router.mu.Lock()
+			shard = se.router.leastLoaded()
+			se.router.mu.Unlock()
+		}
+		var d Decision
+		var err error
+		if analyzer != nil {
+			d, err = se.shards[shard].AdmitWith(ctx, analyzer, cand)
+		} else {
+			d, err = se.shards[shard].AdmitContext(ctx, cand)
+		}
+		if err == nil && d.Admitted {
+			se.router.mu.Lock()
+			for _, s := range uniqueServers(nil, cand.Path, len(se.router.owner)) {
+				if se.router.owner[s] < 0 {
+					se.router.owner[s] = shard
+				}
+				se.router.refs[s]++
+			}
+			se.router.mu.Unlock()
+			se.router.confirm(cand, shard)
+		}
+		return d, err
+	}
+	union := se.gatherUnion(owners)
+	if analyzer == nil {
+		analyzer = se.analyzer
+	}
+	se.crossTests.Add(1)
+	d, err := se.unionTest(ctx, analyzer, union, cand)
+	if err != nil || !d.Admitted {
+		return d, err
+	}
+
+	// Commit: compute the candidate's merged component over the union and
+	// migrate it wholesale into the involved shard holding the most of it.
+	trial := &topo.Network{Servers: se.servers}
+	for _, sc := range union {
+		trial.Connections = append(trial.Connections, sc.conn)
+	}
+	trial.Connections = append(trial.Connections, cand)
+	view := analysis.Components(trial)
+	candComp := view.Conn[len(union)]
+	perShard := make(map[int]int)
+	for i, sc := range union {
+		if view.Conn[i] == candComp {
+			perShard[sc.shard]++
+		}
+	}
+	winner := owners[0]
+	for _, o := range owners[1:] {
+		if perShard[o] > perShard[winner] {
+			winner = o
+		}
+	}
+
+	se.router.mu.Lock()
+	var merged []seqConn // winner's survivors plus migrated members
+	kept := make(map[int][]topo.Connection)
+	for i, sc := range union {
+		inComp := view.Conn[i] == candComp
+		if sc.shard == winner || inComp {
+			merged = append(merged, sc)
+		} else {
+			kept[sc.shard] = append(kept[sc.shard], sc.conn)
+		}
+		if inComp && sc.shard != winner {
+			rc := se.router.conns[sc.conn.Name]
+			se.router.load[rc.shard]--
+			se.router.load[winner]++
+			rc.shard = winner
+			for _, s := range uniqueServers(nil, rc.path, len(se.router.owner)) {
+				se.router.owner[s] = winner
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].seq < merged[j].seq })
+	next := make([]topo.Connection, 0, len(merged)+1)
+	for _, sc := range merged {
+		next = append(next, sc.conn)
+	}
+	next = append(next, cand)
+	for _, s := range uniqueServers(nil, cand.Path, len(se.router.owner)) {
+		se.router.owner[s] = winner
+		se.router.refs[s]++
+	}
+	se.router.conns[cand.Name] = &routedConn{shard: winner, seq: se.router.seq, path: cand.Path}
+	se.router.seq++
+	se.router.load[winner]++
+	se.router.mu.Unlock()
+
+	for _, o := range owners {
+		if o == winner {
+			se.shards[o].replaceAdmitted(next)
+		} else {
+			se.shards[o].replaceAdmitted(kept[o])
+		}
+		if se.shards[o].inc != nil && se.shards[o].prewarm {
+			se.shards[o].scheduleWarm()
+		}
+	}
+	se.crossCommits.Add(1)
+	return d, nil
+}
+
+// Release removes an admitted connection by name; see Engine.Release.
+// When the removal may have split its shard's component set and an empty
+// shard exists, a background-style rebalance migrates one component out
+// under the exclusive lock, restoring shard parallelism.
+func (se *ShardedEngine) Release(name string) (ReleaseInfo, bool) {
+	if eng := se.single(); eng != nil {
+		return eng.Release(name)
+	}
+	se.mu.RLock()
+	se.router.mu.Lock()
+	shard := -1
+	if rc := se.router.conns[name]; rc != nil {
+		shard = rc.shard
+	}
+	se.router.mu.Unlock()
+	if shard < 0 {
+		se.mu.RUnlock()
+		return ReleaseInfo{}, false
+	}
+	info, ok := se.shards[shard].Release(name)
+	if ok {
+		se.router.mu.Lock()
+		// Re-read: a concurrent release of the same name may have already
+		// dropped the record (only one engine release succeeds).
+		if cur := se.router.conns[name]; cur != nil {
+			delete(se.router.conns, name)
+			se.router.load[cur.shard]--
+			se.router.dropRefs(cur.path)
+		}
+		se.router.mu.Unlock()
+	}
+	se.mu.RUnlock()
+	if ok && se.wantRebalance(shard) {
+		se.rebalance(shard)
+	}
+	return info, ok
+}
+
+// Remove is Release without the report.
+func (se *ShardedEngine) Remove(name string) bool {
+	_, ok := se.Release(name)
+	return ok
+}
+
+// wantRebalance cheaply checks whether migrating a component off the
+// shard could restore parallelism: some other shard is empty and the
+// source holds at least two connections (a one-connection shard holds at
+// most one component).
+func (se *ShardedEngine) wantRebalance(from int) bool {
+	se.router.mu.Lock()
+	defer se.router.mu.Unlock()
+	if se.router.load[from] < 2 {
+		return false
+	}
+	for i, l := range se.router.load {
+		if i != from && l == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalance migrates the smallest independent component of the source
+// shard to an empty shard under the exclusive lock — the release-splits-
+// a-component half of the cross-shard protocol. Both engines take an
+// epoch-stamped replaceAdmitted commit.
+func (se *ShardedEngine) rebalance(from int) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	se.router.mu.Lock()
+	target := -1
+	for i, l := range se.router.load {
+		if i != from && l == 0 {
+			target = i
+			break
+		}
+	}
+	fromLoad := se.router.load[from]
+	se.router.mu.Unlock()
+	if target < 0 || fromLoad < 2 {
+		return
+	}
+	snap := se.shards[from].Snapshot()
+	net := &topo.Network{Servers: se.servers, Connections: snap.admitted}
+	view := analysis.Components(net)
+	if view.Count < 2 {
+		return
+	}
+	smallest := 0
+	for c := 1; c < view.Count; c++ {
+		if view.Sizes[c] < view.Sizes[smallest] {
+			smallest = c
+		}
+	}
+	var moved, keptConns []topo.Connection
+	for i, c := range snap.admitted {
+		if view.Conn[i] == smallest {
+			moved = append(moved, c)
+		} else {
+			keptConns = append(keptConns, c)
+		}
+	}
+	se.router.mu.Lock()
+	for _, c := range moved {
+		rc := se.router.conns[c.Name]
+		if rc == nil || rc.shard != from {
+			continue
+		}
+		rc.shard = target
+		se.router.load[from]--
+		se.router.load[target]++
+		for _, s := range uniqueServers(nil, rc.path, len(se.router.owner)) {
+			se.router.owner[s] = target
+		}
+	}
+	se.router.mu.Unlock()
+	se.shards[from].replaceAdmitted(keptConns)
+	se.shards[target].replaceAdmitted(moved)
+	for _, o := range []int{from, target} {
+		if se.shards[o].inc != nil && se.shards[o].prewarm {
+			se.shards[o].scheduleWarm()
+		}
+	}
+	se.rebalances.Add(1)
+}
+
+// FillGreedy admits numbered copies of the template until the first
+// rejection; see Engine.FillGreedy.
+func (se *ShardedEngine) FillGreedy(template topo.Connection, limit int) (int, error) {
+	return se.FillGreedyContext(context.Background(), template, limit)
+}
+
+// FillGreedyContext is FillGreedy with cooperative cancellation.
+func (se *ShardedEngine) FillGreedyContext(ctx context.Context, template topo.Connection, limit int) (int, error) {
+	if eng := se.single(); eng != nil {
+		return eng.FillGreedyContext(ctx, template, limit)
+	}
+	n := 0
+	for n < limit {
+		cand := template
+		cand.Name = fmt.Sprintf("%s#%d", template.Name, se.Count())
+		d, err := se.AdmitContext(ctx, cand)
+		if err != nil {
+			return n, err
+		}
+		if !d.Admitted {
+			return n, nil
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"testing"
+
+	"delaycalc/internal/server"
+	"delaycalc/internal/topo"
+)
+
+func TestComponentsLabeling(t *testing.T) {
+	// Two chains (0-1-2 via two overlapping routes, 3-4) and an untouched
+	// server 5.
+	net := &topo.Network{
+		Servers: make([]server.Server, 6),
+		Connections: []topo.Connection{
+			{Name: "a", Path: []int{0, 1}},
+			{Name: "b", Path: []int{3, 4}},
+			{Name: "c", Path: []int{1, 2}},
+		},
+	}
+	view := Components(net)
+	if view.Count != 2 {
+		t.Fatalf("count %d, want 2", view.Count)
+	}
+	if view.Conn[0] != 0 || view.Conn[1] != 1 || view.Conn[2] != 0 {
+		t.Fatalf("conn labels %v, want [0 1 0]", view.Conn)
+	}
+	wantServer := []int{0, 0, 0, 1, 1, -1}
+	for s, want := range wantServer {
+		if view.Server[s] != want {
+			t.Errorf("server %d label %d, want %d", s, view.Server[s], want)
+		}
+	}
+	if view.Sizes[0] != 2 || view.Sizes[1] != 1 {
+		t.Fatalf("sizes %v, want [2 1]", view.Sizes)
+	}
+}
+
+func TestComponentsOnBuilders(t *testing.T) {
+	// On a fat-tree the labeling must be a true partition: connections
+	// sharing any server share a label, and distinct components touch
+	// disjoint server sets. Disjoint blocks have exactly one component per
+	// block, with every connection of block b labeled b (blocks appear in
+	// order, so dense ids match block indices).
+	ft, err := topo.FatTree(4, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := Components(ft)
+	sum := 0
+	for _, s := range view.Sizes {
+		sum += s
+	}
+	if sum != len(ft.Connections) {
+		t.Fatalf("component sizes sum to %d, want %d", sum, len(ft.Connections))
+	}
+	for i, a := range ft.Connections {
+		for _, s := range a.Path {
+			if view.Server[s] != view.Conn[i] {
+				t.Fatalf("connection %d (component %d) traverses server %d of component %d",
+					i, view.Conn[i], s, view.Server[s])
+			}
+		}
+	}
+	db, err := topo.DisjointBlocks(5, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view = Components(db)
+	if view.Count != 5 {
+		t.Fatalf("disjoint-block components %d, want 5", view.Count)
+	}
+	perBlock := len(db.Connections) / 5
+	for i := range db.Connections {
+		if view.Conn[i] != i/perBlock {
+			t.Fatalf("connection %d labeled %d, want %d", i, view.Conn[i], i/perBlock)
+		}
+	}
+}

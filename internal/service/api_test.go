@@ -7,73 +7,94 @@ import (
 	"time"
 )
 
-// TestV1AliasesAndLegacyDeprecation drives every legacy spelling through
-// the full handler stack: each must behave exactly like its canonical /v1
-// route and carry the Deprecation header with a successor-version link,
-// while canonical routes stay header-free.
+// TestV1AliasesAndLegacyDeprecation drives every /v1 and legacy spelling
+// through the full handler stack: each must behave exactly like its
+// network-scoped /v2 route against the default network and carry the
+// Deprecation header with a successor-version link, while /v2 canonical
+// routes stay header-free.
 func TestV1AliasesAndLegacyDeprecation(t *testing.T) {
 	srv := newTestServer(t, nil)
 
-	// POST /admit and POST /v1/admit are spellings of POST /v1/connections.
+	// POST /admit and POST /v1/admit are spellings of the v2 admit route.
 	w := do(t, srv, "POST", "/v1/admit", admitBody)
 	if w.Code != http.StatusOK || !decode[AdmitResponse](t, w).Admitted {
 		t.Fatalf("/v1/admit: %d %s", w.Code, w.Body)
 	}
-	if w.Header().Get("Deprecation") != "" {
-		t.Fatalf("/v1/admit is not deprecated, got header %q", w.Header().Get("Deprecation"))
-	}
 
-	legacy := []struct {
-		method, path, body, canonical string
+	deprecatedSpellings := []struct {
+		method, path, body, successor string
 		want                          int
 	}{
-		{"POST", "/connections", strings.Replace(admitBody, `"video"`, `"v2"`, 1), "/v1/connections", http.StatusOK},
-		{"POST", "/admit", strings.Replace(admitBody, `"video"`, `"v3"`, 1), "/v1/connections", http.StatusOK},
-		{"GET", "/connections", "", "/v1/connections", http.StatusOK},
-		{"POST", "/analyze", analyzeBody, "/v1/analyze", http.StatusOK},
-		{"GET", "/metrics", "", "/v1/metrics", http.StatusOK},
-		{"GET", "/healthz", "", "/v1/healthz", http.StatusOK},
-		{"DELETE", "/connections/v2", "", "/v1/connections/{name}", http.StatusOK},
+		{"POST", "/connections", strings.Replace(admitBody, `"video"`, `"v2"`, 1), "/v2/networks/default/connections", http.StatusOK},
+		{"POST", "/admit", strings.Replace(admitBody, `"video"`, `"v3"`, 1), "/v2/networks/default/connections", http.StatusOK},
+		{"POST", "/v1/connections", strings.Replace(admitBody, `"video"`, `"v4"`, 1), "/v2/networks/default/connections", http.StatusOK},
+		{"POST", "/v1/admit", strings.Replace(admitBody, `"video"`, `"v5"`, 1), "/v2/networks/default/connections", http.StatusOK},
+		{"GET", "/connections", "", "/v2/networks/default/connections", http.StatusOK},
+		{"GET", "/v1/connections", "", "/v2/networks/default/connections", http.StatusOK},
+		{"POST", "/analyze", analyzeBody, "/v2/networks/default/analyze", http.StatusOK},
+		{"POST", "/v1/analyze", analyzeBody, "/v2/networks/default/analyze", http.StatusOK},
+		{"GET", "/metrics", "", "/v2/networks/default/metrics", http.StatusOK},
+		{"GET", "/v1/stats", "", "/v2/networks/default/stats", http.StatusOK},
+		{"GET", "/healthz", "", "/v2/healthz", http.StatusOK},
+		{"GET", "/v1/healthz", "", "/v2/healthz", http.StatusOK},
+		{"DELETE", "/connections/v2", "", "/v2/networks/default/connections/{name}", http.StatusOK},
+		{"DELETE", "/v1/connections/v3", "", "/v2/networks/default/connections/{name}", http.StatusOK},
 	}
-	for _, c := range legacy {
+	for _, c := range deprecatedSpellings {
 		w := do(t, srv, c.method, c.path, c.body)
 		if w.Code != c.want {
 			t.Errorf("%s %s: want %d, got %d %s", c.method, c.path, c.want, w.Code, w.Body)
 			continue
 		}
 		if w.Header().Get("Deprecation") != "true" {
-			t.Errorf("%s %s: legacy route missing Deprecation header", c.method, c.path)
+			t.Errorf("%s %s: deprecated route missing Deprecation header", c.method, c.path)
 		}
 		link := w.Header().Get("Link")
-		if !strings.Contains(link, c.canonical) || !strings.Contains(link, "successor-version") {
-			t.Errorf("%s %s: Link header %q does not point at %s", c.method, c.path, link, c.canonical)
+		if !strings.Contains(link, c.successor) || !strings.Contains(link, "successor-version") {
+			t.Errorf("%s %s: Link header %q does not point at %s", c.method, c.path, link, c.successor)
 		}
 	}
 
-	// Canonical routes answer without deprecation headers.
-	w = do(t, srv, "GET", "/v1/connections", "")
-	if w.Code != http.StatusOK || w.Header().Get("Deprecation") != "" {
-		t.Fatalf("canonical route deprecated itself: %d %q", w.Code, w.Header().Get("Deprecation"))
+	// The admit-only batch's successor is the mixed-op batch, not a /v2
+	// path.
+	w = do(t, srv, "POST", "/v1/admit/batch", `{"connections": [`+connectionOf(strings.Replace(admitBody, `"video"`, `"b0"`, 1))+`]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/admit/batch: %d %s", w.Code, w.Body)
 	}
-	if w := do(t, srv, "GET", "/v1/metrics", ""); w.Code != http.StatusOK {
-		t.Fatalf("GET /v1/metrics: %d", w.Code)
+	if link := w.Header().Get("Link"); !strings.Contains(link, "/v1/batch") {
+		t.Errorf("/v1/admit/batch Link %q does not point at /v1/batch", link)
 	}
-	if w := do(t, srv, "GET", "/v1/healthz", ""); w.Code != http.StatusOK {
-		t.Fatalf("GET /v1/healthz: %d", w.Code)
+
+	// Canonical /v2 routes answer without deprecation headers.
+	for _, path := range []string{
+		"/v2/networks/default/connections",
+		"/v2/networks/default/metrics",
+		"/v2/networks/default/stats",
+		"/v2/healthz",
+		"/v2/networks",
+	} {
+		w = do(t, srv, "GET", path, "")
+		if w.Code != http.StatusOK || w.Header().Get("Deprecation") != "" {
+			t.Errorf("GET %s: canonical route deprecated itself: %d %q", path, w.Code, w.Header().Get("Deprecation"))
+		}
 	}
 }
 
-// TestLegacyRoutesShareMetricsLabel pins the cardinality contract: a
-// request through a legacy spelling is counted under its canonical label.
+// TestLegacyRoutesShareMetricsLabel pins the cardinality contract: every
+// spelling — legacy, /v1, and the network-scoped /v2 canonical — is
+// counted under one canonical label with a literal {netid} placeholder.
 func TestLegacyRoutesShareMetricsLabel(t *testing.T) {
 	srv := newTestServer(t, nil)
 	do(t, srv, "POST", "/connections", admitBody)
 	do(t, srv, "POST", "/v1/connections", strings.Replace(admitBody, `"video"`, `"w"`, 1))
-	if n := srv.Metrics().RequestCount("POST /v1/connections", http.StatusOK); n != 2 {
-		t.Fatalf("canonical label count %d, want 2 (legacy + canonical)", n)
+	do(t, srv, "POST", "/v2/networks/default/connections", strings.Replace(admitBody, `"video"`, `"x"`, 1))
+	if n := srv.Metrics().RequestCount("POST /v2/networks/{netid}/connections", http.StatusOK); n != 3 {
+		t.Fatalf("canonical label count %d, want 3 (legacy + v1 + v2)", n)
 	}
-	if n := srv.Metrics().RequestCount("POST /connections", http.StatusOK); n != 0 {
-		t.Fatalf("legacy spelling leaked its own metrics label (%d)", n)
+	for _, stale := range []string{"POST /connections", "POST /v1/connections", "POST /v2/networks/default/connections"} {
+		if n := srv.Metrics().RequestCount(stale, http.StatusOK); n != 0 {
+			t.Fatalf("spelling %q leaked its own metrics label (%d)", stale, n)
+		}
 	}
 }
 

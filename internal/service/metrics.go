@@ -282,6 +282,30 @@ func writeEngineMetrics(w io.Writer, st *State) {
 	gaugeLine(w, "delayd_admission_affected_connections_bucket", `le="+Inf"`, float64(stats.AffectedCount))
 	gaugeLine(w, "delayd_admission_affected_connections_sum", "", float64(stats.AffectedSum))
 	gaugeLine(w, "delayd_admission_affected_connections_count", "", float64(stats.AffectedCount))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_shards Engine shards the fabric is partitioned into.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_shards gauge")
+	gaugeLine(w, "delayd_admission_shards", "", float64(stats.Shards))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_cross_shard_commits_total Global epoch-stamped commits (component merges plus rebalances).")
+	fmt.Fprintln(w, "# TYPE delayd_admission_cross_shard_commits_total counter")
+	gaugeLine(w, "delayd_admission_cross_shard_commits_total", "", float64(stats.CrossShardCommits))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_rebalances_total Release-triggered component migrations onto empty shards.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_rebalances_total counter")
+	gaugeLine(w, "delayd_admission_rebalances_total", "", float64(stats.Rebalances))
+
+	fmt.Fprintln(w, "# HELP delayd_admission_shard_admitted Admitted connections per engine shard.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_shard_admitted gauge")
+	for i, sh := range stats.PerShard {
+		gaugeLine(w, "delayd_admission_shard_admitted", fmt.Sprintf(`shard="%d"`, i), float64(sh.Admitted))
+	}
+
+	fmt.Fprintln(w, "# HELP delayd_admission_shard_version Snapshot version per engine shard.")
+	fmt.Fprintln(w, "# TYPE delayd_admission_shard_version gauge")
+	for i, sh := range stats.PerShard {
+		gaugeLine(w, "delayd_admission_shard_version", fmt.Sprintf(`shard="%d"`, i), float64(sh.Version))
+	}
 }
 
 // writeAdmissionMetrics renders the current admitted-set gauges.

@@ -11,6 +11,7 @@ import (
 	"math"
 	"net/http"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,9 +33,16 @@ const (
 
 // Config parameterizes a Server.
 type Config struct {
-	// State holds the live admission fabric. Required.
+	// Registry holds the tenant networks the server routes
+	// /v2/networks/{netid}/... requests to. When nil, the server builds a
+	// single-network registry from State and Cache under DefaultNetworkID —
+	// the single-tenant configuration every /v1 deployment ran as.
+	Registry *Registry
+	// State holds the live admission fabric of the default network.
+	// Required when Registry is nil; must be unset otherwise.
 	State *State
-	// Cache holds analyze results; NewCache(DefaultCacheSize) when nil.
+	// Cache holds the default network's analyze results;
+	// NewCache(DefaultCacheSize) when nil. Only read when Registry is nil.
 	Cache *Cache
 	// Logger receives structured request logs; a no-op logger when nil.
 	Logger *slog.Logger
@@ -50,24 +58,24 @@ type Config struct {
 	// per-request via timeout_seconds.
 	AnalyzeTimeout time.Duration
 	// MaxInFlight bounds the number of concurrently running analyses
-	// across the analyze and admit endpoints; excess requests queue
-	// until a slot frees or their hard deadline sheds them. Zero applies
-	// DefaultMaxInFlight; negative disables the bound.
+	// across the analyze and admit endpoints of EVERY network; excess
+	// requests queue until a slot frees or their hard deadline sheds them.
+	// Zero applies DefaultMaxInFlight; negative disables the bound.
 	MaxInFlight int
 	// MaxBodyBytes bounds request body sizes; oversized bodies get 413.
 	MaxBodyBytes int64
 }
 
-// Server is the delayd HTTP API: admission control over a live fabric plus
-// stateless analysis with caching, instrumented with Metrics. All
-// endpoints live under /v1/; the unprefixed spellings from before the API
-// was versioned still work but answer with a Deprecation header pointing
-// at their successor.
+// Server is the delayd HTTP API: admission control over one or more
+// tenant fabrics plus stateless analysis with caching, instrumented with
+// per-network Metrics. Canonical endpoints are network-scoped under
+// /v2/networks/{netid}/; every /v1 spelling (and the unprefixed spellings
+// from before the API was versioned) still works as an alias for the
+// default network, answering with a Deprecation header and a
+// successor-version Link to its /v2 equivalent.
 type Server struct {
-	state      *State
-	cache      *Cache
+	reg        *Registry
 	log        *slog.Logger
-	metrics    *Metrics
 	timeout    time.Duration
 	softBudget time.Duration // <= 0: degradation disabled
 	sem        chan struct{} // analysis slots; nil: unbounded
@@ -76,61 +84,89 @@ type Server struct {
 	mux        *http.ServeMux
 }
 
+// netHandler is an endpoint handler bound to one resolved tenant network.
+type netHandler func(nw *Network, w http.ResponseWriter, r *http.Request)
+
+// Canonical endpoint labels. Metrics are per-network instances, so the
+// label keeps the {netid} placeholder literal: cardinality stays
+// independent of both the spelling clients use and the number of tenants.
+const (
+	epAdmit      = "POST /v2/networks/{netid}/connections"
+	epBatch      = "POST /v2/networks/{netid}/batch"
+	epAdmitBatch = "POST /v1/admit/batch"
+	epAnalyze    = "POST /v2/networks/{netid}/analyze"
+)
+
 // route is one row of the Server's registration table: a canonical
-// /v1-prefixed pattern, optional same-version aliases, and optional
-// deprecated legacy (unprefixed) spellings. Aliases and legacy routes are
-// instrumented under the canonical label so metrics cardinality does not
-// depend on which spelling clients use.
+// network-scoped suffix under /v2/networks/{netid} (or an absolute path
+// for global rows), the deprecated /v1 spelling, optional /v1-era aliases,
+// and optional pre-versioning legacy spellings. Every non-canonical
+// spelling resolves to the default network and is instrumented under the
+// canonical label, so metrics cardinality does not depend on which
+// spelling clients use.
 type route struct {
-	method    string
-	canonical string   // path under /v1
-	aliases   []string // additional non-deprecated spellings
-	legacy    []string // deprecated pre-versioning spellings
-	successor string   // when set, the canonical route itself is deprecated in favor of this path
-	handler   http.HandlerFunc
+	method  string
+	suffix  string   // v2 path suffix; for global rows, the absolute v2 path
+	global  bool     // not network-scoped (healthz, the networks listing)
+	v1      string   // deprecated /v1 spelling ("" = v2-only)
+	aliases []string // additional deprecated /v1-era spellings
+	legacy  []string // deprecated pre-versioning spellings
+	// successor overrides the computed /v2 successor in deprecation links
+	// (the admit-only batch points at /v1/batch, its direct replacement).
+	successor string
+	handler   netHandler
 }
 
 // routes is the single registration table for every endpoint.
 func (s *Server) routes() []route {
 	return []route{
-		{method: "POST", canonical: "/v1/connections", handler: s.handleAdmit,
+		{method: "POST", suffix: "/connections", v1: "/v1/connections", handler: s.handleAdmit,
 			aliases: []string{"/v1/admit"}, legacy: []string{"/connections", "/admit"}},
-		{method: "GET", canonical: "/v1/connections", handler: s.handleList,
+		{method: "GET", suffix: "/connections", v1: "/v1/connections", handler: s.handleList,
 			legacy: []string{"/connections"}},
-		{method: "DELETE", canonical: "/v1/connections/{name}", handler: s.handleRemove,
+		{method: "DELETE", suffix: "/connections/{name}", v1: "/v1/connections/{name}", handler: s.handleRemove,
 			legacy: []string{"/connections/{name}"}},
-		{method: "POST", canonical: "/v1/batch", handler: s.handleBatch},
-		// The admit-only batch predates the mixed-op /v1/batch; it keeps its
-		// request schema but answers deprecated, pointing at its successor.
-		{method: "POST", canonical: "/v1/admit/batch", handler: s.handleAdmitBatch,
-			successor: "/v1/batch"},
-		{method: "GET", canonical: "/v1/stats", handler: s.handleStats},
-		{method: "POST", canonical: "/v1/analyze", handler: s.handleAnalyze,
+		{method: "POST", suffix: "/batch", v1: "/v1/batch", handler: s.handleBatch},
+		// The admit-only batch predates the mixed-op batch; it stays a
+		// /v1-only spelling whose successor is the mixed-op endpoint.
+		{method: "POST", v1: "/v1/admit/batch", successor: "/v1/batch", handler: s.handleAdmitBatch},
+		{method: "GET", suffix: "/stats", v1: "/v1/stats", handler: s.handleStats},
+		{method: "POST", suffix: "/analyze", v1: "/v1/analyze", handler: s.handleAnalyze,
 			legacy: []string{"/analyze"}},
-		{method: "GET", canonical: "/v1/metrics", handler: s.handleMetrics,
+		{method: "GET", suffix: "/metrics", v1: "/v1/metrics", handler: s.handleMetrics,
 			legacy: []string{"/metrics"}},
-		{method: "GET", canonical: "/v1/healthz", handler: s.handleHealthz,
+		{method: "GET", suffix: "/v2/healthz", global: true, v1: "/v1/healthz", handler: s.handleHealthz,
 			legacy: []string{"/healthz"}},
+		{method: "GET", suffix: "/v2/networks", global: true, handler: s.handleNetworks},
 	}
 }
 
-// NewServer assembles the API around an admission state.
+// NewServer assembles the API around a network registry (or, for the
+// single-tenant configuration, a bare admission state).
 func NewServer(cfg Config) (*Server, error) {
-	if cfg.State == nil {
-		return nil, fmt.Errorf("service: Config.State is required")
-	}
 	s := &Server{
-		state:      cfg.State,
-		cache:      cfg.Cache,
+		reg:        cfg.Registry,
 		log:        cfg.Logger,
-		metrics:    NewMetrics(),
 		timeout:    cfg.RequestTimeout,
 		softBudget: cfg.AnalyzeTimeout,
 		pick:       PickAnalyzer,
 		maxBody:    cfg.MaxBodyBytes,
 	}
-	if s.cache == nil {
-		s.cache = NewCache(DefaultCacheSize)
+	if s.reg == nil {
+		if cfg.State == nil {
+			return nil, fmt.Errorf("service: Config.State is required when no Registry is given")
+		}
+		s.reg = NewRegistry()
+		if _, err := s.reg.Add(DefaultNetworkID, cfg.State, cfg.Cache); err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.State != nil || cfg.Cache != nil {
+			return nil, fmt.Errorf("service: set either Config.Registry or Config.State/Cache, not both")
+		}
+		if s.reg.Len() == 0 {
+			return nil, fmt.Errorf("service: Config.Registry has no networks")
+		}
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -151,30 +187,115 @@ func NewServer(cfg Config) (*Server, error) {
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
+
+	defID := s.reg.DefaultID()
 	s.mux = http.NewServeMux()
+	// allow collects, per exact path spelling, the method set: the input of
+	// the uniform 405 handlers registered below.
+	allow := make(map[string][]string)
+	addAllow := func(path, method string) {
+		for _, m := range allow[path] {
+			if m == method {
+				return
+			}
+		}
+		allow[path] = append(allow[path], method)
+	}
 	for _, rt := range s.routes() {
-		label := rt.method + " " + rt.canonical
-		handler := rt.handler
-		if rt.successor != "" {
-			handler = deprecated(rt.successor, handler)
+		var label, v2path string
+		switch {
+		case rt.global:
+			v2path = rt.suffix
+			label = rt.method + " " + v2path
+		case rt.suffix != "":
+			v2path = "/v2/networks/{netid}" + rt.suffix
+			label = rt.method + " " + v2path
+		default: // /v1-only row
+			label = rt.method + " " + rt.v1
 		}
-		s.mux.HandleFunc(label, s.instrument(label, handler))
-		for _, alias := range rt.aliases {
-			s.mux.HandleFunc(rt.method+" "+alias, s.instrument(label, handler))
+		if v2path != "" {
+			h := s.scoped(rt.handler)
+			if rt.global {
+				h = s.onDefault(rt.handler)
+			}
+			s.mux.HandleFunc(rt.method+" "+v2path, s.instrument(label, h))
+			addAllow(v2path, rt.method)
 		}
-		for _, old := range rt.legacy {
-			s.mux.HandleFunc(rt.method+" "+old, s.instrument(label, deprecated(rt.canonical, rt.handler)))
+		successor := rt.successor
+		if successor == "" {
+			if rt.global {
+				successor = v2path
+			} else {
+				successor = "/v2/networks/" + defID + rt.suffix
+			}
+		}
+		spellings := make([]string, 0, 2+len(rt.aliases)+len(rt.legacy))
+		if rt.v1 != "" {
+			spellings = append(spellings, rt.v1)
+		}
+		spellings = append(spellings, rt.aliases...)
+		spellings = append(spellings, rt.legacy...)
+		for _, p := range spellings {
+			s.mux.HandleFunc(rt.method+" "+p,
+				s.instrument(label, deprecated(successor, s.onDefault(rt.handler))))
+			addAllow(p, rt.method)
 		}
 	}
+	// Every known path answers unsupported methods with the same 405
+	// envelope and an Allow header, instead of the mux's plain-text default.
+	for path, methods := range allow {
+		sort.Strings(methods)
+		s.mux.HandleFunc(path, methodNotAllowed(methods))
+	}
+	// Unknown paths answer the JSON 404 envelope.
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound,
+			fmt.Sprintf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
 	return s, nil
 }
 
-// deprecated marks responses from a legacy spelling with the standard
-// Deprecation header and a successor-version link to the canonical path.
-func deprecated(canonical string, h http.HandlerFunc) http.HandlerFunc {
+// scoped resolves {netid} against the registry before invoking the
+// handler; unknown ids answer the 404 envelope with a stable code.
+func (s *Server) scoped(h netHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("netid")
+		nw, ok := s.reg.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeUnknownNetwork,
+				fmt.Sprintf("no network named %q", id))
+			return
+		}
+		h(nw, w, r)
+	}
+}
+
+// onDefault binds a handler to the default network — the target of every
+// /v1 and legacy spelling, and of global routes.
+func (s *Server) onDefault(h netHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h(s.reg.Default(), w, r)
+	}
+}
+
+// methodNotAllowed writes the uniform 405 envelope with an Allow header;
+// registered as the method-less pattern of every known path so the mux's
+// plain-text fallback never reaches clients.
+func methodNotAllowed(methods []string) http.HandlerFunc {
+	allow := strings.Join(methods, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow))
+	}
+}
+
+// deprecated marks responses from a superseded spelling with the standard
+// Deprecation header and a successor-version link to its replacement.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", canonical, "successor-version"))
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
 		h(w, r)
 	}
 }
@@ -182,14 +303,18 @@ func deprecated(canonical string, h http.HandlerFunc) http.HandlerFunc {
 // ServeHTTP dispatches to the instrumented mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Metrics exposes the accumulator (used by tests).
-func (s *Server) Metrics() *Metrics { return s.metrics }
+// Registry exposes the tenant networks.
+func (s *Server) Registry() *Registry { return s.reg }
 
-// Cache exposes the analyze cache (used by tests and benchmarks).
-func (s *Server) Cache() *Cache { return s.cache }
+// Metrics exposes the default network's accumulator (used by tests).
+func (s *Server) Metrics() *Metrics { return s.reg.Default().metrics }
 
-// State exposes the admission state.
-func (s *Server) State() *State { return s.state }
+// Cache exposes the default network's analyze cache (used by tests and
+// benchmarks).
+func (s *Server) Cache() *Cache { return s.reg.Default().cache }
+
+// State exposes the default network's admission state.
+func (s *Server) State() *State { return s.reg.Default().state }
 
 // statusRecorder captures the status code written by a handler.
 type statusRecorder struct {
@@ -202,14 +327,27 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// metricsFor resolves the Metrics instance a request charges to: the
+// addressed network's when the path carries a known {netid}, the default
+// network's otherwise (v1/legacy spellings, global routes, unknown ids).
+func (s *Server) metricsFor(r *http.Request) *Metrics {
+	if id := r.PathValue("netid"); id != "" {
+		if nw, ok := s.reg.Get(id); ok {
+			return nw.metrics
+		}
+	}
+	return s.reg.Default().metrics
+}
+
 // instrument wraps a handler with the request-scoped plumbing shared by
 // every endpoint: body size limiting, a context deadline, in-flight and
-// latency metrics under a stable endpoint label, panic recovery, and a
-// structured access log line.
+// latency metrics under a stable endpoint label on the addressed
+// network's accumulator, panic recovery, and a structured access log line.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		s.metrics.RequestStarted()
+		m := s.metricsFor(r)
+		m.RequestStarted()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
@@ -226,7 +364,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				}
 			}
 			elapsed := time.Since(start)
-			s.metrics.RequestFinished(endpoint, rec.status, elapsed.Seconds())
+			m.RequestFinished(endpoint, rec.status, elapsed.Seconds())
 			s.log.Info("request",
 				"method", r.Method,
 				"path", r.URL.Path,
@@ -243,15 +381,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 // envelope. The admission codes are shared with package admission so a
 // Decision's code and the envelope's code can never drift apart.
 const (
-	CodeInvalidSpec     = admission.CodeInvalidSpec
-	CodeDeadlineMissed  = admission.CodeDeadlineMissed
-	CodeUnstable        = admission.CodeUnstable
-	CodeUnknownAnalyzer = "unknown_analyzer"
-	CodeTimeout         = "timeout"
-	CodeNotFound        = "not_found"
-	CodeBodyTooLarge    = "body_too_large"
-	CodeInternal        = "internal"
+	CodeInvalidSpec      = admission.CodeInvalidSpec
+	CodeDeadlineMissed   = admission.CodeDeadlineMissed
+	CodeUnstable         = admission.CodeUnstable
+	CodeUnknownAnalyzer  = "unknown_analyzer"
+	CodeUnknownNetwork   = "unknown_network"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeTimeout          = "timeout"
+	CodeNotFound         = "not_found"
+	CodeBodyTooLarge     = "body_too_large"
+	CodeInternal         = "internal"
 )
+
+// SnapshotVersionHeader carries the replica-read snapshot version on GET
+// responses: the version of the immutable promoted snapshot view the
+// response was served from, monotone under every commit on the network.
+const SnapshotVersionHeader = "X-Snapshot-Version"
+
+func setSnapshotVersion(w http.ResponseWriter, version uint64) {
+	w.Header().Set(SnapshotVersionHeader, strconv.FormatUint(version, 10))
+}
 
 // ErrorDetail is the payload of the error envelope: a stable
 // machine-readable code plus a human-readable message.
@@ -317,16 +466,18 @@ func degradable(a analysis.Analyzer) bool {
 
 // shed rejects a request whose hard deadline passed (or that could not get
 // an analysis slot in time) with the 503 envelope and a Retry-After hint.
-func (s *Server) shed(w http.ResponseWriter, msg string) {
-	s.metrics.RequestShed()
+func (s *Server) shed(nw *Network, w http.ResponseWriter, msg string) {
+	nw.metrics.RequestShed()
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, CodeTimeout, msg)
 }
 
 // acquireSlot takes one bounded-concurrency analysis slot, queueing (and
-// exporting the queue depth) until one frees or the request's hard
-// deadline sheds it. Reports false when the context won.
-func (s *Server) acquireSlot(ctx context.Context) bool {
+// exporting the queue depth on the network's metrics) until one frees or
+// the request's hard deadline sheds it. Reports false when the context
+// won. The slot pool is shared across networks — it bounds the process's
+// concurrent analyses — but the queue gauge is per-network.
+func (s *Server) acquireSlot(ctx context.Context, nw *Network) bool {
 	if s.sem == nil {
 		return true
 	}
@@ -335,8 +486,8 @@ func (s *Server) acquireSlot(ctx context.Context) bool {
 		return true
 	default:
 	}
-	s.metrics.QueueEntered()
-	defer s.metrics.QueueLeft()
+	nw.metrics.QueueEntered()
+	defer nw.metrics.QueueLeft()
 	select {
 	case s.sem <- struct{}{}:
 		return true
@@ -369,14 +520,15 @@ func (s *Server) softContext(ctx context.Context, override float64) (sctx contex
 }
 
 // observeStages exports an analysis run's per-stage wall time to the
-// /v1/metrics histograms and the debug log.
-func (s *Server) observeStages(endpoint string, tm *analysis.Timings) {
+// network's metrics histograms and the debug log.
+func (s *Server) observeStages(nw *Network, endpoint string, tm *analysis.Timings) {
 	stages := tm.StageSeconds()
 	for st, sec := range stages {
-		s.metrics.ObserveStage(st, sec)
+		nw.metrics.ObserveStage(st, sec)
 	}
 	s.log.Debug("analysis stages",
 		"endpoint", endpoint,
+		"network", nw.id,
 		"partition_s", stages["partition"],
 		"aggregate_s", stages["aggregate"],
 		"theta_s", stages["theta"],
@@ -390,9 +542,9 @@ func (s *Server) observeStages(endpoint string, tm *analysis.Timings) {
 // decomposed fallback runs in its place and degraded is reported true. An
 // error for which admission.IsCanceled holds means the hard deadline
 // passed and the request must be shed.
-func (s *Server) runAnalysis(ctx context.Context, endpoint string, analyzer analysis.Analyzer, net *topo.Network, override float64) (res *analysis.Result, degraded bool, err error) {
+func (s *Server) runAnalysis(ctx context.Context, nw *Network, endpoint string, analyzer analysis.Analyzer, net *topo.Network, override float64) (res *analysis.Result, degraded bool, err error) {
 	tctx, tm := analysis.WithTimings(ctx)
-	defer s.observeStages(endpoint, tm)
+	defer s.observeStages(nw, endpoint, tm)
 	sctx, cancel, hasSoft := s.softContext(tctx, override)
 	if !hasSoft || !degradable(analyzer) {
 		cancel()
@@ -408,9 +560,9 @@ func (s *Server) runAnalysis(ctx context.Context, endpoint string, analyzer anal
 		// A real analyzer error, or the hard deadline itself: no fallback.
 		return nil, false, err
 	}
-	s.metrics.DegradedServed()
+	nw.metrics.DegradedServed()
 	s.log.Warn("analysis degraded to decomposed bound",
-		"endpoint", endpoint, "analyzer", analyzer.Name())
+		"endpoint", endpoint, "network", nw.id, "analyzer", analyzer.Name())
 	res, err = analysis.AnalyzeWithContext(tctx, fallbackAnalyzer, net)
 	if err != nil {
 		return nil, false, err
@@ -423,17 +575,17 @@ func (s *Server) runAnalysis(ctx context.Context, endpoint string, analyzer anal
 // the conservative direction: the decomposed bound dominates the
 // integrated bound, so a degraded decision may reject a candidate the
 // integrated analysis would have admitted but never the reverse.
-func (s *Server) runAdmission(ctx context.Context, endpoint string, dryRun bool, cand topo.Connection, override float64) (d admission.Decision, degraded bool, err error) {
+func (s *Server) runAdmission(ctx context.Context, nw *Network, endpoint string, dryRun bool, cand topo.Connection, override float64) (d admission.Decision, degraded bool, err error) {
 	tctx, tm := analysis.WithTimings(ctx)
-	defer s.observeStages(endpoint, tm)
+	defer s.observeStages(nw, endpoint, tm)
 	run := func(runCtx context.Context) (admission.Decision, error) {
 		if dryRun {
-			return s.state.TestContext(runCtx, cand)
+			return nw.state.TestContext(runCtx, cand)
 		}
-		return s.state.AdmitContext(runCtx, cand)
+		return nw.state.AdmitContext(runCtx, cand)
 	}
 	sctx, cancel, hasSoft := s.softContext(tctx, override)
-	if !hasSoft || !degradable(s.state.Engine().Analyzer()) {
+	if !hasSoft || !degradable(nw.state.Engine().Analyzer()) {
 		cancel()
 		d, err = run(tctx)
 		return d, false, err
@@ -443,13 +595,13 @@ func (s *Server) runAdmission(ctx context.Context, endpoint string, dryRun bool,
 	if err == nil || !admission.IsCanceled(err) || ctx.Err() != nil {
 		return d, false, err
 	}
-	s.metrics.DegradedServed()
+	nw.metrics.DegradedServed()
 	s.log.Warn("admission degraded to decomposed bound",
-		"endpoint", endpoint, "connection", cand.Name, "dry_run", dryRun)
+		"endpoint", endpoint, "network", nw.id, "connection", cand.Name, "dry_run", dryRun)
 	if dryRun {
-		d, err = s.state.TestWith(tctx, fallbackAnalyzer, cand)
+		d, err = nw.state.TestWith(tctx, fallbackAnalyzer, cand)
 	} else {
-		d, err = s.state.AdmitWith(tctx, fallbackAnalyzer, cand)
+		d, err = nw.state.AdmitWith(tctx, fallbackAnalyzer, cand)
 	}
 	if err != nil {
 		return d, false, err
@@ -499,7 +651,7 @@ func toViolations(vs []admission.Violation) []ViolationSpec {
 	return out
 }
 
-// AdmitRequest is the body of POST /v1/connections.
+// AdmitRequest is the body of POST /v2/networks/{netid}/connections.
 type AdmitRequest struct {
 	Connection netspec.ConnectionSpec `json:"connection"`
 	// DryRun runs the admission test without committing the connection.
@@ -527,12 +679,12 @@ type AdmitResponse struct {
 	BoundSource string `json:"bound_source,omitempty"`
 }
 
-func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdmit(nw *Network, w http.ResponseWriter, r *http.Request) {
 	var req AdmitRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	index, err := netspec.ServerIndex(s.state.Servers())
+	index, err := netspec.ServerIndex(nw.state.Servers())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
@@ -548,21 +700,21 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	if ctx.Err() != nil {
-		s.shed(w, "request deadline exceeded")
+		s.shed(nw, w, "request deadline exceeded")
 		return
 	}
-	if !s.acquireSlot(ctx) {
-		s.shed(w, "no analysis slot free before the request deadline")
+	if !s.acquireSlot(ctx, nw) {
+		s.shed(nw, w, "no analysis slot free before the request deadline")
 		return
 	}
 	defer s.releaseSlot()
 	// The admission test analyzes an immutable snapshot outside any lock;
 	// Admit commits with a version check and retries on conflict, so a
 	// timed-out client still never leaves the fabric in an unknown state.
-	d, degraded, err := s.runAdmission(ctx, "POST /v1/connections", req.DryRun, cand, req.TimeoutSeconds)
+	d, degraded, err := s.runAdmission(ctx, nw, epAdmit, req.DryRun, cand, req.TimeoutSeconds)
 	if err != nil {
 		if admission.IsCanceled(err) {
-			s.shed(w, "admission analysis did not finish before the request deadline")
+			s.shed(nw, w, "admission analysis did not finish before the request deadline")
 			return
 		}
 		code := d.Code
@@ -579,7 +731,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		Reason:     d.Reason,
 		Violations: toViolations(d.Violations),
 		Bounds:     toBounds(d.Bounds),
-		Count:      s.state.Count(),
+		Count:      nw.state.Count(),
 		Degraded:   degraded,
 	}
 	if degraded {
@@ -590,7 +742,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 
 // BatchAdmitRequest is the body of POST /v1/admit/batch: candidates are
 // tested and committed in order, each against the set as left by its
-// predecessors (greedy semantics, like repeated POST /v1/connections).
+// predecessors (greedy semantics, like repeated single admissions).
 type BatchAdmitRequest struct {
 	Connections []netspec.ConnectionSpec `json:"connections"`
 	// DryRun tests every candidate without committing any of them; each
@@ -626,7 +778,7 @@ type BatchAdmitResponse struct {
 	Count    int              `json:"count"`
 }
 
-func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdmitBatch(nw *Network, w http.ResponseWriter, r *http.Request) {
 	var req BatchAdmitRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -635,7 +787,7 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "batch has no connections")
 		return
 	}
-	index, err := netspec.ServerIndex(s.state.Servers())
+	index, err := netspec.ServerIndex(nw.state.Servers())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
@@ -657,21 +809,21 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	if ctx.Err() != nil {
-		s.shed(w, "request deadline exceeded")
+		s.shed(nw, w, "request deadline exceeded")
 		return
 	}
-	if !s.acquireSlot(ctx) {
-		s.shed(w, "no analysis slot free before the request deadline")
+	if !s.acquireSlot(ctx, nw) {
+		s.shed(nw, w, "no analysis slot free before the request deadline")
 		return
 	}
 	defer s.releaseSlot()
 	resp := BatchAdmitResponse{DryRun: req.DryRun, Results: make([]BatchAdmitItem, 0, len(cands))}
 	for _, cand := range cands {
-		d, degraded, err := s.runAdmission(ctx, "POST /v1/admit/batch", req.DryRun, cand, req.TimeoutSeconds)
+		d, degraded, err := s.runAdmission(ctx, nw, epAdmitBatch, req.DryRun, cand, req.TimeoutSeconds)
 		if err != nil && admission.IsCanceled(err) {
 			// The hard deadline passed mid-batch; nothing has been written
 			// yet, so the whole request sheds (committed prefixes stay).
-			s.shed(w, fmt.Sprintf("batch deadline exceeded at connection %q", cand.Name))
+			s.shed(nw, w, fmt.Sprintf("batch deadline exceeded at connection %q", cand.Name))
 			return
 		}
 		item := BatchAdmitItem{
@@ -698,23 +850,23 @@ func (s *Server) handleAdmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, item)
 	}
-	resp.Count = s.state.Count()
+	resp.Count = nw.state.Count()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// BatchOp is one operation inside POST /v1/batch: an admission (op
-// "admit", with the candidate spec) or a release (op "release", with the
-// admitted connection's name).
+// BatchOp is one operation inside POST /v2/networks/{netid}/batch: an
+// admission (op "admit", with the candidate spec) or a release (op
+// "release", with the admitted connection's name).
 type BatchOp struct {
 	Op         string                  `json:"op"`
 	Connection *netspec.ConnectionSpec `json:"connection,omitempty"`
 	Name       string                  `json:"name,omitempty"`
 }
 
-// BatchRequest is the body of POST /v1/batch: a mixed, ordered list of
-// admit and release operations, executed in order against the live set
-// (greedy semantics — each operation sees the set as left by its
-// predecessors).
+// BatchRequest is the body of POST /v2/networks/{netid}/batch: a mixed,
+// ordered list of admit and release operations, executed in order against
+// the live set (greedy semantics — each operation sees the set as left by
+// its predecessors).
 type BatchRequest struct {
 	Operations []BatchOp `json:"operations"`
 	// DryRun tests admit operations without committing them; release
@@ -734,8 +886,8 @@ const (
 	BatchStatusError    = "error"    // op failed outright; see the error detail
 )
 
-// BatchOpResult is the per-operation envelope of a /v1/batch response:
-// the operation's index and kind, its status, and either the admission
+// BatchOpResult is the per-operation envelope of a batch response: the
+// operation's index and kind, its status, and either the admission
 // decision (admit ops) or the release mode (release ops) or an error
 // detail.
 type BatchOpResult struct {
@@ -761,7 +913,7 @@ type BatchResponse struct {
 	Count    int             `json:"count"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(nw *Network, w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -774,7 +926,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "timeout_seconds must be non-negative")
 		return
 	}
-	index, err := netspec.ServerIndex(s.state.Servers())
+	index, err := netspec.ServerIndex(nw.state.Servers())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
@@ -816,11 +968,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	if ctx.Err() != nil {
-		s.shed(w, "request deadline exceeded")
+		s.shed(nw, w, "request deadline exceeded")
 		return
 	}
-	if !s.acquireSlot(ctx) {
-		s.shed(w, "no analysis slot free before the request deadline")
+	if !s.acquireSlot(ctx, nw) {
+		s.shed(nw, w, "no analysis slot free before the request deadline")
 		return
 	}
 	defer s.releaseSlot()
@@ -829,12 +981,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		item := BatchOpResult{Index: i, Op: op.Op}
 		switch op.Op {
 		case "admit":
-			d, degraded, err := s.runAdmission(ctx, "POST /v1/batch", req.DryRun, cands[i], req.TimeoutSeconds)
+			d, degraded, err := s.runAdmission(ctx, nw, epBatch, req.DryRun, cands[i], req.TimeoutSeconds)
 			if err != nil && admission.IsCanceled(err) {
 				// The hard deadline passed mid-batch; nothing more will be
 				// written, so the whole request sheds (committed prefixes
 				// stay, like repeated single-op requests would).
-				s.shed(w, fmt.Sprintf("batch deadline exceeded at operation %d", i))
+				s.shed(nw, w, fmt.Sprintf("batch deadline exceeded at operation %d", i))
 				return
 			}
 			dec := &BatchAdmitItem{
@@ -864,7 +1016,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				resp.Rejected++
 			}
 		case "release":
-			info, ok := s.state.Release(op.Name)
+			info, ok := nw.state.Release(op.Name)
 			if !ok {
 				item.Status = BatchStatusError
 				item.Error = &ErrorDetail{Code: CodeNotFound,
@@ -878,7 +1030,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, item)
 	}
-	resp.Count = s.state.Count()
+	resp.Count = nw.state.Count()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -890,10 +1042,10 @@ func releaseMode(info admission.ReleaseInfo) string {
 	return "compacted"
 }
 
-// ListResponse is the body of GET /v1/connections. Count is the number of
-// connections matching the filter (the whole admitted set without one);
-// Connections is the requested page and NextCursor, when present, fetches
-// the next page (pass it back as ?cursor=).
+// ListResponse is the body of GET /v2/networks/{netid}/connections. Count
+// is the number of connections matching the filter (the whole admitted set
+// without one); Connections is the requested page and NextCursor, when
+// present, fetches the next page (pass it back as ?cursor=).
 type ListResponse struct {
 	Count       int                      `json:"count"`
 	Utilization []float64                `json:"utilization"`
@@ -919,7 +1071,7 @@ func decodeCursor(token string) (int, error) {
 	return off, nil
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleList(nw *Network, w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	limit := 0 // 0: no paging (the whole set), preserving the pre-pagination contract
 	if v := q.Get("limit"); v != "" {
@@ -940,13 +1092,17 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		offset = off
 	}
 
-	conns, util, _ := s.state.Snapshot()
+	// Replica read: the listing is assembled lock-free from the latest
+	// immutable promoted shard snapshots; the header tells the client which
+	// version of the write history it reflects.
+	conns, version, util := nw.state.ReadView()
+	setSnapshotVersion(w, version)
 
 	// ?server= narrows the listing to connections whose path crosses the
 	// named fabric server.
 	if name := q.Get("server"); name != "" {
 		serverIdx := -1
-		for i, sv := range s.state.Servers() {
+		for i, sv := range nw.state.Servers() {
 			if sv.Name == name {
 				serverIdx = i
 				break
@@ -980,7 +1136,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		page = page[:limit]
 		resp.NextCursor = encodeCursor(offset + limit)
 	}
-	spec := netspec.ToSpec(&topo.Network{Servers: s.state.Servers(), Connections: page})
+	spec := netspec.ToSpec(&topo.Network{Servers: nw.state.Servers(), Connections: page})
 	resp.Connections = spec.Connections
 	if resp.Connections == nil {
 		resp.Connections = []netspec.ConnectionSpec{}
@@ -988,28 +1144,28 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// RemoveResponse is the body of DELETE /v1/connections/{name}. Mode
-// reports how the engine absorbed the release: "incremental" (the
-// analysis baseline was shrunk in place, so the next test stays fast) or
-// "compacted" (the baseline was dropped and rebuilds lazily).
+// RemoveResponse is the body of DELETE /v2/networks/{netid}/connections/
+// {name}. Mode reports how the engine absorbed the release: "incremental"
+// (the analysis baseline was shrunk in place, so the next test stays fast)
+// or "compacted" (the baseline was dropped and rebuilds lazily).
 type RemoveResponse struct {
 	Removed string `json:"removed"`
 	Count   int    `json:"count"`
 	Mode    string `json:"mode"`
 }
 
-func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRemove(nw *Network, w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if strings.TrimSpace(name) == "" {
 		writeError(w, http.StatusBadRequest, CodeInvalidSpec, "empty connection name")
 		return
 	}
-	info, ok := s.state.Release(name)
+	info, ok := nw.state.Release(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("no admitted connection named %q", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, RemoveResponse{Removed: name, Count: s.state.Count(), Mode: releaseMode(info)})
+	writeJSON(w, http.StatusOK, RemoveResponse{Removed: name, Count: nw.state.Count(), Mode: releaseMode(info)})
 }
 
 // StatsCounter pairs the incremental and full counts of one operation.
@@ -1026,39 +1182,59 @@ type AffectedBucket struct {
 	Count uint64 `json:"count"`
 }
 
-// StatsResponse is the body of GET /v1/stats: the admission engine's
-// counters as a stable JSON schema. Releases.Full counts compacted
-// releases (baseline dropped); AffectedSum/AffectedCount give the mean
-// closure size alongside the histogram.
-type StatsResponse struct {
-	Analyzer        string           `json:"analyzer"`
-	Incremental     bool             `json:"incremental"`
-	Admitted        int              `json:"admitted"`
-	SnapshotVersion uint64           `json:"snapshot_version"`
-	BaselineEpoch   uint64           `json:"baseline_epoch"`
-	Tests           StatsCounter     `json:"tests"`
-	Releases        StatsCounter     `json:"releases"`
-	CommitConflicts uint64           `json:"commit_conflicts"`
-	Affected        []AffectedBucket `json:"affected_histogram"`
-	AffectedCount   uint64           `json:"affected_count"`
-	AffectedSum     uint64           `json:"affected_sum"`
+// ShardStatSpec summarizes one engine shard in the stats body.
+type ShardStatSpec struct {
+	Shard    int          `json:"shard"`
+	Admitted int          `json:"admitted"`
+	Version  uint64       `json:"version"`
+	Tests    StatsCounter `json:"tests"`
+	Releases StatsCounter `json:"releases"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	eng := s.state.Engine()
+// StatsResponse is the body of GET /v2/networks/{netid}/stats: the
+// admission engine's counters as a stable JSON schema. Releases.Full
+// counts compacted releases (baseline dropped); AffectedSum/AffectedCount
+// give the mean closure size alongside the histogram. The shard fields
+// are additive: Shards is the configured shard count,
+// CrossShardCommits the number of global epoch-stamped commits (component
+// merges plus rebalances), and PerShard the per-shard breakdown.
+type StatsResponse struct {
+	Analyzer          string           `json:"analyzer"`
+	Incremental       bool             `json:"incremental"`
+	Admitted          int              `json:"admitted"`
+	SnapshotVersion   uint64           `json:"snapshot_version"`
+	Shards            int              `json:"shards"`
+	CrossShardCommits uint64           `json:"cross_shard_commits"`
+	Rebalances        uint64           `json:"rebalances"`
+	BaselineEpoch     uint64           `json:"baseline_epoch"`
+	Tests             StatsCounter     `json:"tests"`
+	Releases          StatsCounter     `json:"releases"`
+	CommitConflicts   uint64           `json:"commit_conflicts"`
+	Affected          []AffectedBucket `json:"affected_histogram"`
+	AffectedCount     uint64           `json:"affected_count"`
+	AffectedSum       uint64           `json:"affected_sum"`
+	PerShard          []ShardStatSpec  `json:"per_shard,omitempty"`
+}
+
+func (s *Server) handleStats(nw *Network, w http.ResponseWriter, r *http.Request) {
+	eng := nw.state.Engine()
 	st := eng.Stats()
-	snap := eng.Snapshot()
+	conns, version := eng.ReadView()
+	setSnapshotVersion(w, version)
 	resp := StatsResponse{
-		Analyzer:        eng.Analyzer().Name(),
-		Incremental:     eng.Incremental(),
-		Admitted:        snap.Count(),
-		SnapshotVersion: snap.Version(),
-		BaselineEpoch:   st.BaselineEpoch,
-		Tests:           StatsCounter{Incremental: st.IncrementalTests, Full: st.FullTests},
-		Releases:        StatsCounter{Incremental: st.IncrementalReleases, Full: st.CompactedReleases},
-		CommitConflicts: st.CommitConflicts,
-		AffectedCount:   st.AffectedCount,
-		AffectedSum:     st.AffectedSum,
+		Analyzer:          eng.Analyzer().Name(),
+		Incremental:       eng.Incremental(),
+		Admitted:          len(conns),
+		SnapshotVersion:   version,
+		Shards:            st.Shards,
+		CrossShardCommits: st.CrossShardCommits,
+		Rebalances:        st.Rebalances,
+		BaselineEpoch:     st.BaselineEpoch,
+		Tests:             StatsCounter{Incremental: st.IncrementalTests, Full: st.FullTests},
+		Releases:          StatsCounter{Incremental: st.IncrementalReleases, Full: st.CompactedReleases},
+		CommitConflicts:   st.CommitConflicts,
+		AffectedCount:     st.AffectedCount,
+		AffectedSum:       st.AffectedSum,
 	}
 	bounds := admission.AffectedBucketBounds()
 	cum := uint64(0)
@@ -1067,10 +1243,53 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Affected = append(resp.Affected, AffectedBucket{LE: Bound(ub), Count: cum})
 	}
 	resp.Affected = append(resp.Affected, AffectedBucket{LE: Bound(math.Inf(1)), Count: st.AffectedCount})
+	for i, sh := range st.PerShard {
+		resp.PerShard = append(resp.PerShard, ShardStatSpec{
+			Shard:    i,
+			Admitted: sh.Admitted,
+			Version:  sh.Version,
+			Tests:    StatsCounter{Incremental: sh.IncrementalTests, Full: sh.FullTests},
+			Releases: StatsCounter{Incremental: sh.IncrementalReleases, Full: sh.CompactedReleases},
+		})
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// AnalyzeRequest is the body of POST /v1/analyze.
+// NetworkInfo is one entry of the GET /v2/networks listing.
+type NetworkInfo struct {
+	ID              string `json:"id"`
+	Default         bool   `json:"default"`
+	Admitted        int    `json:"admitted"`
+	Shards          int    `json:"shards"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+}
+
+// NetworksResponse is the body of GET /v2/networks.
+type NetworksResponse struct {
+	Networks []NetworkInfo `json:"networks"`
+}
+
+func (s *Server) handleNetworks(_ *Network, w http.ResponseWriter, r *http.Request) {
+	defID := s.reg.DefaultID()
+	resp := NetworksResponse{Networks: []NetworkInfo{}}
+	for _, id := range s.reg.IDs() {
+		nw, ok := s.reg.Get(id)
+		if !ok {
+			continue
+		}
+		conns, version := nw.state.Engine().ReadView()
+		resp.Networks = append(resp.Networks, NetworkInfo{
+			ID:              id,
+			Default:         id == defID,
+			Admitted:        len(conns),
+			Shards:          nw.state.Shards(),
+			SnapshotVersion: version,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// AnalyzeRequest is the body of POST /v2/networks/{netid}/analyze.
 type AnalyzeRequest struct {
 	// Analyzer names the algorithm ("integrated" when empty); see
 	// AnalyzerNames for the accepted set.
@@ -1098,7 +1317,7 @@ type AnalyzeResponse struct {
 	BoundSource string `json:"bound_source,omitempty"`
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnalyze(nw *Network, w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -1127,27 +1346,27 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := analyzer.Name() + ":" + digest
-	if res, ok := s.cache.Get(key); ok {
+	if res, ok := nw.cache.Get(key); ok {
 		writeAnalyzeResponse(w, res, digest, true, false)
 		return
 	}
 	ctx := r.Context()
 	if ctx.Err() != nil {
-		s.shed(w, "request deadline exceeded")
+		s.shed(nw, w, "request deadline exceeded")
 		return
 	}
-	if !s.acquireSlot(ctx) {
-		s.shed(w, "no analysis slot free before the request deadline")
+	if !s.acquireSlot(ctx, nw) {
+		s.shed(nw, w, "no analysis slot free before the request deadline")
 		return
 	}
 	defer s.releaseSlot()
 	// The analysis runs on the handler goroutine under the request's hard
 	// deadline: a shed request cancels its analysis cooperatively instead
 	// of abandoning a goroutine to finish unobserved.
-	res, degradedRes, err := s.runAnalysis(ctx, "POST /v1/analyze", analyzer, net, req.TimeoutSeconds)
+	res, degradedRes, err := s.runAnalysis(ctx, nw, epAnalyze, analyzer, net, req.TimeoutSeconds)
 	if err != nil {
 		if admission.IsCanceled(err) {
-			s.shed(w, "analysis did not finish before the request deadline")
+			s.shed(nw, w, "analysis did not finish before the request deadline")
 			return
 		}
 		writeError(w, http.StatusUnprocessableEntity, CodeInvalidSpec, err.Error())
@@ -1156,9 +1375,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if degradedRes {
 		// A degraded result is a valid decomposed analysis: cache it under
 		// the fallback's own key, never under the requested analyzer's.
-		s.cache.Put(fallbackAnalyzer.Name()+":"+digest, res)
+		nw.cache.Put(fallbackAnalyzer.Name()+":"+digest, res)
 	} else {
-		s.cache.Put(key, res)
+		nw.cache.Put(key, res)
 	}
 	writeAnalyzeResponse(w, res, digest, false, degradedRes)
 }
@@ -1179,14 +1398,15 @@ func writeAnalyzeResponse(w http.ResponseWriter, res *analysis.Result, digest st
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(nw *Network, w http.ResponseWriter, r *http.Request) {
+	setSnapshotVersion(w, nw.state.SnapshotVersion())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteText(w)
-	writeCacheMetrics(w, s.cache)
-	writeAdmissionMetrics(w, s.state)
-	writeEngineMetrics(w, s.state)
+	nw.metrics.WriteText(w)
+	writeCacheMetrics(w, nw.cache)
+	writeAdmissionMetrics(w, nw.state)
+	writeEngineMetrics(w, nw.state)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(_ *Network, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

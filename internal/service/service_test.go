@@ -303,9 +303,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	body := w.Body.String()
 	for _, want := range []string{
-		`delayd_requests_total{endpoint="POST /v1/connections",code="200"} 1`,
-		`delayd_requests_total{endpoint="POST /v1/analyze",code="200"} 2`,
-		`delayd_request_duration_seconds_count{endpoint="POST /v1/analyze"} 2`,
+		`delayd_requests_total{endpoint="POST /v2/networks/{netid}/connections",code="200"} 1`,
+		`delayd_requests_total{endpoint="POST /v2/networks/{netid}/analyze",code="200"} 2`,
+		`delayd_request_duration_seconds_count{endpoint="POST /v2/networks/{netid}/analyze"} 2`,
 		`delayd_cache_hits_total 1`,
 		`delayd_cache_misses_total 1`,
 		`delayd_cache_hit_ratio 0.5`,

@@ -1,8 +1,8 @@
 // Package service is the serving layer of the repository: a goroutine-safe
 // admission-control state, an LRU cache for analysis results, request
-// metrics, and the HTTP/JSON handlers that delayd (cmd/delayd) mounts.
-// The command-line tools reuse the same State so that CLI and daemon
-// drive one admission implementation.
+// metrics, a multi-tenant network registry, and the HTTP/JSON handlers
+// that delayd (cmd/delayd) mounts. The command-line tools reuse the same
+// State so that CLI and daemon drive one admission implementation.
 package service
 
 import (
@@ -15,19 +15,30 @@ import (
 )
 
 // State is the live admission fabric shared by concurrent HTTP handlers
-// and the CLIs. It is a thin veneer over admission.Engine: every test
-// analyzes an immutable snapshot OUTSIDE any lock and Admit commits with a
-// version check (retrying on conflict), so slow analyses never serialize
-// readers, and on incremental analyzers each test re-analyzes only the
-// candidate's interference closure. All accessors return copies.
+// and the CLIs. It is a thin veneer over admission.ShardedEngine: the
+// fabric is partitioned into independent server-sharing components, one
+// engine shard per component group, so disjoint workloads commit without
+// contending; every test analyzes an immutable snapshot OUTSIDE any lock
+// and Admit commits with a version check (retrying on conflict). With one
+// shard (NewState) the behavior is exactly the single admission.Engine.
+// All accessors return copies.
 type State struct {
-	eng     *admission.Engine
+	eng     *admission.ShardedEngine
 	servers []server.Server // immutable after construction
 }
 
-// NewState builds an admission state over the given fabric.
+// NewState builds a single-shard admission state over the given fabric —
+// the exact pre-sharding engine behavior.
 func NewState(servers []server.Server, analyzer analysis.Analyzer) (*State, error) {
-	eng, err := admission.NewEngine(servers, analyzer)
+	return NewStateShards(servers, analyzer, 1)
+}
+
+// NewStateShards builds an admission state whose engine is partitioned
+// into the given number of shards. Connections whose components stay
+// disjoint commit on independent shards; admissions that span shards fall
+// back to a global epoch-stamped commit.
+func NewStateShards(servers []server.Server, analyzer analysis.Analyzer, shards int) (*State, error) {
+	eng, err := admission.NewShardedEngine(servers, analyzer, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -36,9 +47,12 @@ func NewState(servers []server.Server, analyzer analysis.Analyzer) (*State, erro
 	return &State{eng: eng, servers: cp}, nil
 }
 
-// Engine exposes the underlying admission engine (used by metrics and
-// tests).
-func (s *State) Engine() *admission.Engine { return s.eng }
+// Engine exposes the underlying sharded admission engine (used by metrics
+// and tests).
+func (s *State) Engine() *admission.ShardedEngine { return s.eng }
+
+// Shards returns the engine's shard count.
+func (s *State) Shards() int { return s.eng.Shards() }
 
 // ForceFull disables the incremental analysis path; every admission test
 // re-analyzes the whole trial network. Intended for startup configuration
@@ -98,8 +112,8 @@ func (s *State) Release(name string) (admission.ReleaseInfo, bool) {
 	return s.eng.Release(name)
 }
 
-// WarmBaseline synchronously materializes the current snapshot's analysis
-// baseline so the next admission test runs incrementally at full speed.
+// WarmBaseline synchronously materializes every shard's analysis baseline
+// so the next admission test runs incrementally at full speed.
 func (s *State) WarmBaseline() error { return s.eng.WarmBaseline() }
 
 // Admitted returns a copy of the currently admitted connections.
@@ -112,10 +126,29 @@ func (s *State) Count() int { return s.eng.Count() }
 func (s *State) Utilization() []float64 { return s.eng.Utilization() }
 
 // Snapshot returns the admitted set, per-server utilization, and count in
-// one consistent view (a single engine snapshot).
+// one consistent view assembled from the latest immutable promoted shard
+// snapshots — the lock-free read-replica path GET endpoints serve from.
 func (s *State) Snapshot() (conns []topo.Connection, util []float64, count int) {
-	snap := s.eng.Snapshot()
-	return snap.Admitted(), snap.Utilization(), snap.Count()
+	conns, _, util = s.readView()
+	return conns, util, len(conns)
+}
+
+// SnapshotVersion returns the replica-read snapshot version: the sum of
+// every shard's snapshot version, monotone under every commit. GET
+// responses expose it as X-Snapshot-Version so clients can correlate a
+// read with the write history it reflects.
+func (s *State) SnapshotVersion() uint64 { return s.eng.SnapshotVersion() }
+
+// ReadView returns the admitted set, utilization, and the snapshot
+// version in one replica read.
+func (s *State) ReadView() (conns []topo.Connection, version uint64, util []float64) {
+	return s.readView()
+}
+
+func (s *State) readView() ([]topo.Connection, uint64, []float64) {
+	conns, version := s.eng.ReadView()
+	net := &topo.Network{Servers: s.servers, Connections: conns}
+	return conns, version, net.Utilization()
 }
 
 // FillGreedy admits numbered copies of the template until the first

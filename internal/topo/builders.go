@@ -243,3 +243,40 @@ func RandomFeedforward(nServers, nConns int, util float64, seed int64) (*Network
 	}
 	return net, nil
 }
+
+// DisjointBlocks builds a fabric of `blocks` independent copies of the
+// paper tandem (PaperTandem(switches, load)), concatenated into one server
+// list with per-block route offsets and name prefixes. No connection
+// crosses blocks, so the server-sharing graph has exactly `blocks`
+// components — the canonical workload for sharded admission, where
+// disjoint components must commit without contending.
+func DisjointBlocks(blocks, switches int, load float64) (*Network, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("topo: need at least 1 block, got %d", blocks)
+	}
+	net := &Network{}
+	for b := 0; b < blocks; b++ {
+		block, err := PaperTandem(switches, load)
+		if err != nil {
+			return nil, err
+		}
+		off := len(net.Servers)
+		for _, s := range block.Servers {
+			s.Name = fmt.Sprintf("b%d.%s", b, s.Name)
+			net.Servers = append(net.Servers, s)
+		}
+		for _, c := range block.Connections {
+			c.Name = fmt.Sprintf("b%d.%s", b, c.Name)
+			path := make([]int, len(c.Path))
+			for i, s := range c.Path {
+				path[i] = s + off
+			}
+			c.Path = path
+			net.Connections = append(net.Connections, c)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
