@@ -6,7 +6,7 @@ GO ?= go
 # upward (cross-machine variance); local runs use the strict default.
 BENCH_TOLERANCE ?= 1.3
 
-.PHONY: all build test race bench bench-admit bench-release bench-service bench-shards bench-curves bench-fabric bench-gate profile-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
+.PHONY: all build test race bench bench-admit bench-release bench-service bench-batch bench-shards bench-curves bench-fabric bench-gate profile-curves cover figures fuzz run-delayd falsify falsify-smoke help clean
 
 all: build test
 
@@ -18,7 +18,8 @@ help:
 	@echo "  bench          all benchmarks"
 	@echo "  bench-admit    full vs incremental admission benchmark"
 	@echo "  bench-release  incremental vs invalidating release benchmark"
-	@echo "  bench-service  churn load against an in-process delayd -> BENCH_service.json"
+	@echo "  bench-service  churn + open-loop sweep + batch comparison -> BENCH_service.json"
+	@echo "  bench-batch    batched-vs-sequential gate (>=3x p50), diffed against BENCH_service.json"
 	@echo "  bench-shards   shard-scaling sweep at 1/2/4/8 shards -> BENCH_shards.json"
 	@echo "  bench-curves   curve-engine benchmarks -> BENCH_curves.json"
 	@echo "  bench-fabric   10k-switch fat-tree analysis benchmark"
@@ -57,12 +58,31 @@ bench-release:
 	$(GO) test -bench='BenchmarkRelease' -benchmem -run '^$$' ./internal/admission
 
 # Service-level churn benchmark (docs/SERVICE.md): a 10s closed-loop
-# admit/release/batch mix against an in-process delayd. Emits
-# BENCH_service.json (committed per PR) and fails when the release path's
-# p99 drifts past 2x the admit path's p99.
+# admit/release/batch mix, an open-loop Poisson rate sweep (latency from
+# scheduled send time, so overload cannot hide behind coordinated
+# omission), and the batch-of-32 vs 32-sequential-admits comparison, all
+# against one in-process delayd. The decomposed analyzer on a 16-switch
+# tandem keeps the serving-layer costs these gates guard (round-trips,
+# snapshot commits, churn) the dominant term instead of per-op analysis.
+# Emits BENCH_service.json (committed per PR) and fails when the release
+# p99 drifts past 2x the admit p99 or the batch p50 speedup drops under 3x.
 bench-service:
-	$(GO) run ./cmd/delayload -self 8 -duration 10s -concurrency 4 -mix 6:3:1 \
-		-seed 1 -out BENCH_service.json -gate-release-factor 2
+	$(GO) run ./cmd/delayload -self 16 -analyzer decomposed -duration 10s \
+		-concurrency 4 -mix 6:3:1 -open-rates 100,200,400 -open-duration 3s \
+		-batch-compare 32 -batch-trials 100 -seed 1 -out BENCH_service.json \
+		-gate-release-factor 2 -gate-batch 3
+
+# Focused batch-pipelining gate: re-run the batch-of-32 comparison, fail
+# when the batch arm's p50 is not >=3x faster than 32 sequential admits or
+# when any envelope committed more than one snapshot, then diff the fresh
+# report against the committed BENCH_service.json (regressions in the
+# closed-loop p99s or the batch speedup exit 2).
+bench-batch:
+	$(GO) run ./cmd/delayload -self 16 -analyzer decomposed -duration 1s \
+		-concurrency 4 -mix 6:3:1 -batch-compare 32 -batch-trials 100 \
+		-seed 1 -out /tmp/bench_batch.json -gate-batch 3
+	$(GO) run ./cmd/benchjson -diff BENCH_service.json -tolerance $(BENCH_TOLERANCE) \
+		< /tmp/bench_batch.json > /dev/null
 
 # Shard-scaling benchmark (docs/SERVICE.md): the same closed-loop churn at
 # 1/2/4/8 engine shards over an 8-block disjoint fabric, every worker

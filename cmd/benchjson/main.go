@@ -144,15 +144,30 @@ func diff(current, snapshot []result, tolerance float64) bool {
 	return regressed
 }
 
-// serviceReport is the slice of a delayload report the service diff reads.
+// serviceReport is the slice of a delayload report the service diff reads:
+// per-operation closed-loop latencies, the open-loop sweep, and the
+// batched-vs-sequential comparison. Sections absent from either side are
+// skipped, never failed — reports grow sections over time and a snapshot
+// predating one must not block the build that introduces it.
 type serviceReport struct {
 	Ops map[string]struct {
 		P99 float64 `json:"p99_ms"`
 	} `json:"ops"`
+	OpenLoop *struct {
+		Points []struct {
+			TargetRate float64 `json:"target_rate_ops_per_sec"`
+			P99        float64 `json:"p99_ms"`
+		} `json:"points"`
+	} `json:"open_loop"`
+	BatchBench *struct {
+		BatchSize  int     `json:"batch_size"`
+		SpeedupP50 float64 `json:"speedup_p50"`
+	} `json:"batch_bench"`
 }
 
-// diffService compares per-operation p99 latencies of two delayload
-// reports and reports whether any operation regressed past tolerance.
+// diffService compares two delayload reports: per-operation and per-rate
+// open-loop p99 latencies regress upward (current > snapshot x tolerance),
+// the batch speedup regresses downward (current < snapshot / tolerance).
 func diffService(current, snapshot []byte, tolerance float64) (bool, error) {
 	var cur, base serviceReport
 	if err := json.Unmarshal(current, &cur); err != nil {
@@ -185,6 +200,40 @@ func diffService(current, snapshot []byte, tolerance float64) (bool, error) {
 		}
 		fmt.Fprintf(os.Stderr, "benchjson: op %-10s p99 %8.3f -> %8.3f ms (%.2fx) %s\n",
 			name, b.P99, c.P99, ratio, status)
+	}
+	if cur.OpenLoop != nil && base.OpenLoop != nil {
+		baseByRate := make(map[float64]float64, len(base.OpenLoop.Points))
+		for _, p := range base.OpenLoop.Points {
+			baseByRate[p.TargetRate] = p.P99
+		}
+		for _, p := range cur.OpenLoop.Points {
+			b, ok := baseByRate[p.TargetRate]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: open-loop rate %-8.0f NEW (no snapshot entry)\n", p.TargetRate)
+				continue
+			}
+			if b <= 0 || p.P99 <= 0 {
+				continue
+			}
+			ratio := p.P99 / b
+			status := "ok"
+			if ratio > tolerance {
+				status = "REGRESSED"
+				regressed = true
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: open-loop rate %-8.0f p99 %8.3f -> %8.3f ms (%.2fx) %s\n",
+				p.TargetRate, b, p.P99, ratio, status)
+		}
+	}
+	if cur.BatchBench != nil && base.BatchBench != nil &&
+		cur.BatchBench.SpeedupP50 > 0 && base.BatchBench.SpeedupP50 > 0 {
+		status := "ok"
+		if cur.BatchBench.SpeedupP50 < base.BatchBench.SpeedupP50/tolerance {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: batch-of-%d speedup %.2fx -> %.2fx (p50) %s\n",
+			base.BatchBench.BatchSize, base.BatchBench.SpeedupP50, cur.BatchBench.SpeedupP50, status)
 	}
 	return regressed, nil
 }

@@ -33,6 +33,18 @@
 // path's p99 exceeds the admit path's p99 by more than a factor of F —
 // the CI regression gate for the incremental-release work.
 //
+// -open-rates r1,r2,... appends an open-loop arrival sweep to the run
+// (see openloop.go): each rate point fixes a Poisson or fixed-spacing
+// (-arrival) schedule up front and measures latency from the SCHEDULED
+// send time, so overload cannot hide behind coordinated omission. The
+// sweep lands under "open_loop" in the report, and -open-csv also writes
+// it as CSV. -batch-compare N appends a batched-vs-sequential comparison
+// ("batch_bench"): one batch-of-N envelope against N single admissions,
+// with the engine's own counters proving each envelope committed exactly
+// one snapshot; -gate-batch F fails the run when the batch p50 is not at
+// least F times better (the median is gated, not the p99: a single-ms
+// envelope's p99 is dominated by scheduler and GC noise).
+//
 // -shards runs the shard-scaling benchmark instead: for each listed shard
 // count it starts a fresh in-process daemon over a -blocks disjoint-block
 // fabric (topo.DisjointBlocks) whose engine is partitioned into that many
@@ -76,6 +88,7 @@ func main() {
 	flag.StringVar(&cfg.target, "target", "", "base URL of a running delayd (empty: start one in-process)")
 	flag.StringVar(&cfg.servers, "servers", "", "comma-separated fabric server names in path order (required with -target)")
 	flag.IntVar(&cfg.self, "self", 8, "tandem size of the in-process daemon (without -target)")
+	flag.StringVar(&cfg.analyzer, "analyzer", "integrated", "in-process daemon's analysis: integrated or decomposed")
 	flag.StringVar(&cfg.network, "network", service.DefaultNetworkID, "tenant network the /v2 operations are scoped to")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measurement window")
 	flag.IntVar(&cfg.concurrency, "concurrency", 4, "closed-loop workers")
@@ -93,6 +106,16 @@ func main() {
 	flag.IntVar(&cfg.prefill, "prefill", 0, "connections admitted per block before the timed window (with -shards)")
 	flag.Float64Var(&cfg.gateScaling, "gate-scaling", 0,
 		"fail when throughput at 4 (or max) shards < 1-shard throughput x this factor (0 disables the gate)")
+	flag.StringVar(&cfg.openRates, "open-rates", "",
+		"comma-separated target rates (ops/sec): run an open-loop arrival sweep after the closed-loop window")
+	flag.StringVar(&cfg.arrival, "arrival", "poisson", "open-loop arrival process: poisson or fixed")
+	flag.DurationVar(&cfg.openDuration, "open-duration", 0, "open-loop window per rate point (0: use -duration)")
+	flag.StringVar(&cfg.openCSV, "open-csv", "", "also write the open-loop sweep as CSV to this path")
+	flag.IntVar(&cfg.batchCompare, "batch-compare", 0,
+		"batch size N: benchmark one batch-of-N envelope against N sequential admissions (0 disables)")
+	flag.IntVar(&cfg.batchTrials, "batch-trials", 20, "trials per arm of the batch comparison")
+	flag.Float64Var(&cfg.gateBatch, "gate-batch", 0,
+		"fail when sequential p50 / batch p50 < this factor (0 disables the gate)")
 	flag.Parse()
 
 	if cfg.shards != "" {
@@ -120,6 +143,7 @@ func main() {
 type config struct {
 	target, servers   string
 	self              int
+	analyzer          string
 	network           string
 	duration          time.Duration
 	concurrency       int
@@ -136,6 +160,15 @@ type config struct {
 	blockSwitches int
 	prefill       int
 	gateScaling   float64
+
+	// Open-loop sweep (-open-rates) and batch comparison (-batch-compare).
+	openRates    string
+	arrival      string
+	openDuration time.Duration
+	openCSV      string
+	batchCompare int
+	batchTrials  int
+	gateBatch    float64
 }
 
 // apiPrefix is the network-scoped /v2 path prefix operations run under.
@@ -168,6 +201,10 @@ type report struct {
 	Ops         map[string]opStats `json:"ops"`
 	// EngineStats is the daemon's network-scoped stats document after the run.
 	EngineStats json.RawMessage `json:"engine_stats,omitempty"`
+	// OpenLoop is the -open-rates arrival sweep (latency from scheduled
+	// send time); BatchBench is the -batch-compare result.
+	OpenLoop   *openLoopReport   `json:"open_loop,omitempty"`
+	BatchBench *batchBenchReport `json:"batch_bench,omitempty"`
 }
 
 // shardRun is one sweep measurement in the BENCH_shards.json report.
@@ -239,17 +276,33 @@ func parseMix(s string) (admit, release, batch int, err error) {
 	return w[0], w[1], w[2], nil
 }
 
+// pickAnalyzer resolves the -analyzer flag for the in-process daemon.
+func pickAnalyzer(name string) (analysis.Analyzer, error) {
+	switch name {
+	case "", "integrated":
+		return analysis.Integrated{}, nil
+	case "decomposed":
+		return analysis.Decomposed{}, nil
+	default:
+		return nil, fmt.Errorf("analyzer %q: want integrated or decomposed", name)
+	}
+}
+
 // selfServe starts an in-process delayd over an n-server tandem fabric on
 // a loopback listener and returns its base URL, the fabric server names,
 // and a shutdown func.
-func selfServe(n int) (base string, names []string, shutdown func(), err error) {
+func selfServe(n int, analyzerName string) (base string, names []string, shutdown func(), err error) {
+	analyzer, err := pickAnalyzer(analyzerName)
+	if err != nil {
+		return "", nil, nil, err
+	}
 	servers := make([]server.Server, n)
 	names = make([]string, n)
 	for i := range servers {
 		names[i] = fmt.Sprintf("s%d", i)
 		servers[i] = server.Server{Name: names[i], Capacity: 1, Discipline: server.FIFO}
 	}
-	state, err := service.NewState(servers, analysis.Integrated{})
+	state, err := service.NewState(servers, analyzer)
 	if err != nil {
 		return "", nil, nil, err
 	}
@@ -636,7 +689,7 @@ func run(cfg *config, out io.Writer) error {
 		}
 		var shutdown func()
 		var err error
-		base, names, shutdown, err = selfServe(cfg.self)
+		base, names, shutdown, err = selfServe(cfg.self, cfg.analyzer)
 		if err != nil {
 			return err
 		}
@@ -652,9 +705,28 @@ func run(cfg *config, out io.Writer) error {
 		}
 	}
 
+	// The batch comparison runs first: in self-serve mode it spins up its
+	// own clean daemon, and running it before the closed-loop and open-loop
+	// phases keeps their daemon's standing state and GC heap out of the
+	// ~1 ms-scale envelope samples the batch gate judges.
+	var batchBench *batchBenchReport
+	if cfg.batchCompare > 0 {
+		bb, err := runBatchCompare(cfg, names, out)
+		if err != nil {
+			return err
+		}
+		batchBench = bb
+	}
 	rep, err := measure(cfg, base, func(int) []string { return names }, nil)
 	if err != nil {
 		return err
+	}
+	rep.BatchBench = batchBench
+	if cfg.openRates != "" {
+		rep.OpenLoop, err = runOpenLoopSweep(cfg, names, out)
+		if err != nil {
+			return err
+		}
 	}
 
 	classes := make([]string, 0, len(rep.Ops))
@@ -700,6 +772,33 @@ func run(cfg *config, out io.Writer) error {
 		default:
 			fmt.Fprintf(out, "release gate ok: release p99 %.3fms <= admit p99 %.3fms x %.1f\n",
 				release.P99Ms, admit.P99Ms, cfg.gateReleaseFactor)
+		}
+	}
+	if rep.OpenLoop != nil {
+		for _, pt := range rep.OpenLoop.Points {
+			if pt.Errors > 0 {
+				failures = append(failures, fmt.Errorf("%d open-loop operations failed at rate %g", pt.Errors, pt.TargetRate))
+			}
+		}
+	}
+	if bb := rep.BatchBench; bb != nil {
+		// The single-commit invariant is not an opt-in gate: a batch
+		// envelope that committed more than one snapshot per shard means
+		// the pipelined path regressed to per-op commits.
+		if bb.CommitsPerEnvelope != 1 {
+			failures = append(failures, fmt.Errorf("batch envelopes averaged %.2f commits each (want exactly 1: %d commits / %d envelopes)",
+				bb.CommitsPerEnvelope, bb.Commits, bb.Envelopes))
+		}
+		if cfg.gateBatch > 0 {
+			// Gate on the median ratio: a single ~1 ms batch envelope's p99
+			// is one unlucky scheduler or GC hiccup away from a 2-3x
+			// outlier, while the p50 of repeated trials is reproducible.
+			if bb.SpeedupP50 < cfg.gateBatch {
+				failures = append(failures, fmt.Errorf("batch gate: batch-of-%d p50 only %.2fx faster than sequential (need %.1fx; p99 ratio %.2fx)",
+					bb.BatchSize, bb.SpeedupP50, cfg.gateBatch, bb.Speedup))
+			} else {
+				fmt.Fprintf(out, "batch gate ok: %.2fx >= %.1fx (p50)\n", bb.SpeedupP50, cfg.gateBatch)
+			}
 		}
 	}
 	return errors.Join(failures...)

@@ -111,6 +111,15 @@ type Stats struct {
 	BaselineEpoch uint64
 	// CommitConflicts counts Admit retries forced by a concurrent commit.
 	CommitConflicts uint64
+	// BatchEnvelopes counts ApplyBatch calls, BatchOps the operations they
+	// carried, and BatchCommits the snapshot commits they installed. A
+	// mutating envelope commits exactly once regardless of its size
+	// (BatchCommits <= BatchEnvelopes always; strictly fewer when some
+	// envelopes left the admitted set untouched), which is the pipelining
+	// invariant CI gates on.
+	BatchEnvelopes uint64
+	BatchOps       uint64
+	BatchCommits   uint64
 	// AffectedBuckets holds, per entry of AffectedBucketBounds, how many
 	// tests had an affected set of at most that many connections (raw,
 	// not cumulative); AffectedCount and AffectedSum summarize them.
@@ -131,10 +140,13 @@ type Engine struct {
 	servers  []server.Server
 	analyzer analysis.Analyzer
 	inc      analysis.Incremental // nil when unsupported or force-full
-	// compactFrac is the affected-set fraction above which Release stops
-	// shrinking and compacts; prewarm rebuilds compacted baselines in the
-	// background. Both are startup configuration, like ForceFull.
-	compactFrac float64
+	// compactFrac holds the float64 bits of the affected-set fraction above
+	// which Release stops shrinking and compacts. It is atomic (not plain
+	// startup configuration like prewarm) because SetCompactionThreshold is
+	// documented as callable while releases run concurrently.
+	compactFrac atomic.Uint64
+	// prewarm rebuilds compacted baselines in the background; startup
+	// configuration, like ForceFull.
 	prewarm     bool
 	mu          sync.Mutex // serializes snapshot swaps only
 	snap        atomic.Pointer[Snapshot]
@@ -144,6 +156,9 @@ type Engine struct {
 	compactRels atomic.Uint64
 	epoch       atomic.Uint64
 	conflicts   atomic.Uint64
+	batchEnvs   atomic.Uint64
+	batchOps    atomic.Uint64
+	batchComs   atomic.Uint64
 	affBucket   []atomic.Uint64
 	affCount    atomic.Uint64
 	affSum      atomic.Uint64
@@ -173,12 +188,12 @@ func NewEngine(servers []server.Server, analyzer analysis.Analyzer) (*Engine, er
 	cp := make([]server.Server, len(servers))
 	copy(cp, servers)
 	e := &Engine{
-		servers:     cp,
-		analyzer:    analyzer,
-		compactFrac: DefaultCompactionThreshold,
-		prewarm:     true,
-		affBucket:   make([]atomic.Uint64, len(affectedBuckets)+1),
+		servers:   cp,
+		analyzer:  analyzer,
+		prewarm:   true,
+		affBucket: make([]atomic.Uint64, len(affectedBuckets)+1),
 	}
+	e.compactFrac.Store(math.Float64bits(DefaultCompactionThreshold))
 	if inc, ok := analyzer.(analysis.Incremental); ok {
 		e.inc = inc
 	}
@@ -213,8 +228,16 @@ func (e *Engine) Servers() []server.Server {
 // SetCompactionThreshold sets the affected-set fraction above which a
 // release compacts instead of shrinking (see DefaultCompactionThreshold).
 // Negative disables incremental release entirely; >= 1 always shrinks.
-// Call it before serving traffic, like ForceFull.
-func (e *Engine) SetCompactionThreshold(frac float64) { e.compactFrac = frac }
+// Safe to call while releases run concurrently: the threshold is stored
+// atomically and each release reads it once.
+func (e *Engine) SetCompactionThreshold(frac float64) {
+	e.compactFrac.Store(math.Float64bits(frac))
+}
+
+// compactionThreshold reads the release compaction threshold.
+func (e *Engine) compactionThreshold() float64 {
+	return math.Float64frombits(e.compactFrac.Load())
+}
 
 // SetBackgroundPromotion toggles the background baseline rebuild after a
 // compacting release. On by default; benchmarks of the invalidating path
@@ -231,6 +254,9 @@ func (e *Engine) Stats() Stats {
 		CompactedReleases:   e.compactRels.Load(),
 		BaselineEpoch:       e.epoch.Load(),
 		CommitConflicts:     e.conflicts.Load(),
+		BatchEnvelopes:      e.batchEnvs.Load(),
+		BatchOps:            e.batchOps.Load(),
+		BatchCommits:        e.batchComs.Load(),
 		AffectedBuckets:     make([]uint64, len(e.affBucket)),
 		AffectedCount:       e.affCount.Load(),
 		AffectedSum:         e.affSum.Load(),
@@ -356,7 +382,11 @@ func (s *Snapshot) precheck(cand topo.Connection) (trial *topo.Network, d Decisi
 			fmt.Errorf("admission: candidate %q has no deadline", cand.Name)
 	}
 	trial = s.network(cand)
-	if err := trial.Validate(); err != nil {
+	// With a materialized baseline the validation is O(candidate): the
+	// admitted set was validated when it was committed, so only the
+	// candidate can fail. Without one (cold start, post-compaction,
+	// ForceFull) the nil receiver degrades to the identical full check.
+	if err := s.cachedBaseline().ValidateExtend(trial); err != nil {
 		return nil, Decision{Code: CodeInvalidSpec, Reason: err.Error()}, false, err
 	}
 	if !trial.Stable() {
@@ -548,7 +578,7 @@ func (e *Engine) Release(name string) (ReleaseInfo, bool) {
 				affected, _ := AffectedSet(len(e.servers), survivors, snap.admitted[idx])
 				info.Affected = len(affected)
 				e.observeAffected(len(affected))
-				if float64(len(affected)) <= e.compactFrac*float64(len(survivors)) {
+				if float64(len(affected)) <= e.compactionThreshold()*float64(len(survivors)) {
 					if ext, err := base.Shrink(idx); err == nil {
 						promoted = ext.Promote()
 						info.Incremental = true

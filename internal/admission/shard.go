@@ -206,6 +206,9 @@ func (se *ShardedEngine) Stats() ShardedStats {
 		agg.CompactedReleases += st.CompactedReleases
 		agg.BaselineEpoch += st.BaselineEpoch
 		agg.CommitConflicts += st.CommitConflicts
+		agg.BatchEnvelopes += st.BatchEnvelopes
+		agg.BatchOps += st.BatchOps
+		agg.BatchCommits += st.BatchCommits
 		if agg.AffectedBuckets == nil {
 			agg.AffectedBuckets = make([]uint64, len(st.AffectedBuckets))
 		}
@@ -620,6 +623,13 @@ func (se *ShardedEngine) unionTest(ctx context.Context, analyzer analysis.Analyz
 func (se *ShardedEngine) admitCross(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
+	return se.admitCrossLocked(ctx, analyzer, cand)
+}
+
+// admitCrossLocked is the body of admitCross; the batch path calls it
+// directly while already holding the exclusive lock. Caller must hold
+// se.mu exclusively.
+func (se *ShardedEngine) admitCrossLocked(ctx context.Context, analyzer analysis.Analyzer, cand topo.Connection) (Decision, error) {
 	if se.router.conns[cand.Name] != nil {
 		return Decision{Code: CodeInvalidSpec, Reason: fmt.Sprintf("connection %q already admitted", cand.Name)},
 			fmt.Errorf("admission: connection %q already admitted", cand.Name)

@@ -1,0 +1,346 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"delaycalc/internal/analysis"
+	"delaycalc/internal/topo"
+)
+
+// TestShardedApplyBatchMatchesSequential replays random envelopes through
+// a sharded engine and compares every operation's outcome against a second
+// sharded engine fed the same ops one at a time. The sharded guarantee is
+// Admitted/Code/Reason/Violations and release outcomes (Bounds may list a
+// different co-resident set when optimistic routing places a component on
+// a different shard — see the shard_batch.go package comment).
+func TestShardedApplyBatchMatchesSequential(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		net, err := topo.DisjointBlocks(4, 3, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range net.Connections {
+			net.Connections[i].Deadline = 1000
+		}
+		seqSE, err := NewShardedEngine(net.Servers, analysis.Integrated{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchSE, err := NewShardedEngine(net.Servers, analysis.Integrated{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := randomOps(net, seed, 2*len(net.Connections))
+		rng := rand.New(rand.NewSource(seed * 13))
+		ctx := context.Background()
+		for start := 0; start < len(ops); {
+			end := start + 1 + rng.Intn(6)
+			if end > len(ops) {
+				end = len(ops)
+			}
+			env := ops[start:end]
+			br, err := batchSE.ApplyBatch(ctx, env)
+			if err != nil {
+				t.Fatalf("seed%d: ApplyBatch: %v", seed, err)
+			}
+			for k, op := range env {
+				step := fmt.Sprintf("seed%d/op%d", seed, start+k)
+				switch op.Kind {
+				case OpAdmit:
+					wantD, wantErr := seqSE.Admit(op.Candidate)
+					gotR := br.Results[k]
+					if (wantErr == nil) != (gotR.Err == nil) {
+						t.Fatalf("%s: admit error diverged: sequential %v, batch %v", step, wantErr, gotR.Err)
+					}
+					requireSameOutcome(t, step, wantD, gotR.Decision)
+				case OpRelease:
+					_, wantOK := seqSE.Release(op.Name)
+					if wantOK != br.Results[k].Released {
+						t.Fatalf("%s: release found diverged: sequential %v, batch %v", step, wantOK, br.Results[k].Released)
+					}
+				}
+			}
+			start = end
+		}
+		if seqSE.Count() != batchSE.Count() {
+			t.Fatalf("seed%d: final counts differ: sequential %d, batch %d", seed, seqSE.Count(), batchSE.Count())
+		}
+		seqNames := make(map[string]bool)
+		for _, c := range seqSE.Admitted() {
+			seqNames[c.Name] = true
+		}
+		for _, c := range batchSE.Admitted() {
+			if !seqNames[c.Name] {
+				t.Fatalf("seed%d: batch admitted %q, sequential did not", seed, c.Name)
+			}
+		}
+	}
+}
+
+// TestShardedBatchSingleCommitPerShard pins the sharded pipelining
+// invariant: an envelope touching k shards performs exactly k snapshot
+// commits (one engine sub-batch each) and never takes the cross path when
+// its routes stay within components.
+func TestShardedBatchSingleCommitPerShard(t *testing.T) {
+	net, err := topo.DisjointBlocks(4, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine(net.Servers, analysis.Integrated{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]Op, 0, len(net.Connections))
+	for i := range net.Connections {
+		net.Connections[i].Deadline = 1000
+		ops = append(ops, Op{Kind: OpAdmit, Candidate: net.Connections[i]})
+	}
+	before := se.SnapshotVersion()
+	br, err := se.ApplyBatch(context.Background(), ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range br.Results {
+		if !r.Decision.Admitted {
+			t.Fatalf("op %d not admitted: %+v", i, r.Decision)
+		}
+	}
+	if br.Commits != br.ShardsTouched {
+		t.Fatalf("commits %d != shards touched %d", br.Commits, br.ShardsTouched)
+	}
+	if br.Commits > 4 || br.Commits < 1 {
+		t.Fatalf("envelope over a 4-block fabric committed %d times", br.Commits)
+	}
+	if delta := se.SnapshotVersion() - before; int(delta) != br.Commits {
+		t.Fatalf("global version advanced %d, reported %d commits", delta, br.Commits)
+	}
+	if st := se.Stats(); st.CrossShardCommits != 0 {
+		t.Fatalf("disjoint envelope took %d cross-shard commits", st.CrossShardCommits)
+	}
+	if se.Count() != len(net.Connections) {
+		t.Fatalf("count %d, want %d", se.Count(), len(net.Connections))
+	}
+
+	// Duplicate admits and ghost releases are rejected per-op with the
+	// sequential decisions, without committing anything.
+	before = se.SnapshotVersion()
+	br, err = se.ApplyBatch(context.Background(), []Op{
+		{Kind: OpAdmit, Candidate: net.Connections[0]},
+		{Kind: OpRelease, Name: "ghost"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Results[0].Decision.Code != CodeInvalidSpec || br.Results[0].Err == nil {
+		t.Fatalf("duplicate admit not rejected: %+v", br.Results[0])
+	}
+	if br.Results[1].Released {
+		t.Fatal("ghost release reported found")
+	}
+	if br.Commits != 0 || se.SnapshotVersion() != before {
+		t.Fatalf("read-only envelope committed (commits=%d)", br.Commits)
+	}
+}
+
+// TestShardedBatchCrossAdmit drives an envelope whose middle admit bridges
+// two shards: the shard-local prefix flushes with one commit per shard,
+// the bridge takes exactly one cross-shard commit, and the router stays
+// consistent (everything admitted is individually releasable afterwards).
+func TestShardedBatchCrossAdmit(t *testing.T) {
+	net, err := topo.DisjointBlocks(2, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine(net.Servers, analysis.Integrated{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Connections {
+		net.Connections[i].Deadline = 1000
+		if d, err := se.Admit(net.Connections[i]); err != nil || !d.Admitted {
+			t.Fatalf("setup admit %s: %+v err=%v", net.Connections[i].Name, d, err)
+		}
+	}
+	bridge := net.Connections[0]
+	bridge.Name = "bridge"
+	bridge.Path = []int{0, len(net.Servers) - 1}
+	extraA := net.Connections[0]
+	extraA.Name = "extraA"
+	extraB := net.Connections[len(net.Connections)-1]
+	extraB.Name = "extraB"
+
+	br, err := se.ApplyBatch(context.Background(), []Op{
+		{Kind: OpAdmit, Candidate: extraA},
+		{Kind: OpAdmit, Candidate: bridge},
+		{Kind: OpAdmit, Candidate: extraB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range br.Results {
+		if !r.Decision.Admitted {
+			t.Fatalf("op %d not admitted: %+v err=%v", i, r.Decision, r.Err)
+		}
+	}
+	st := se.Stats()
+	if st.CrossShardCommits == 0 {
+		t.Fatal("bridge admission did not take the cross-shard path")
+	}
+	if se.Count() != len(net.Connections)+3 {
+		t.Fatalf("count %d, want %d", se.Count(), len(net.Connections)+3)
+	}
+	for _, name := range []string{"extraA", "bridge", "extraB"} {
+		if _, ok := se.Release(name); !ok {
+			t.Fatalf("router lost %q after the cross envelope", name)
+		}
+	}
+}
+
+// TestShardedBatchReleaseReadmit pins the strict-ordering fallback: an
+// envelope that releases a name and then re-admits it must resolve like
+// the sequential path (release first, fresh admit after), not as a
+// duplicate rejection.
+func TestShardedBatchReleaseReadmit(t *testing.T) {
+	net, err := topo.DisjointBlocks(2, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := NewShardedEngine(net.Servers, analysis.Integrated{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Connections {
+		net.Connections[i].Deadline = 1000
+		if d, err := se.Admit(net.Connections[i]); err != nil || !d.Admitted {
+			t.Fatalf("setup admit: %+v err=%v", d, err)
+		}
+	}
+	name := net.Connections[0].Name
+	br, err := se.ApplyBatch(context.Background(), []Op{
+		{Kind: OpRelease, Name: name},
+		{Kind: OpAdmit, Candidate: net.Connections[0]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !br.Results[0].Released {
+		t.Fatalf("release of %q not found", name)
+	}
+	if !br.Results[1].Decision.Admitted {
+		t.Fatalf("re-admit of %q rejected: %+v err=%v", name, br.Results[1].Decision, br.Results[1].Err)
+	}
+	if se.Count() != len(net.Connections) {
+		t.Fatalf("count %d, want %d", se.Count(), len(net.Connections))
+	}
+	if _, ok := se.Release(name); !ok {
+		t.Fatalf("router lost %q after release+readmit envelope", name)
+	}
+}
+
+// TestShardedBatchStraddlesRebalance exercises envelopes whose releases
+// split a component while an empty shard is available — the
+// release-triggered rebalance migrates a component mid-workload — with
+// concurrent envelopes on a disjoint block. Run under -race with -count=3
+// in CI; the assertions are pure invariants so interleavings are free.
+func TestShardedBatchStraddlesRebalance(t *testing.T) {
+	net, err := topo.DisjointBlocks(2, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Connections {
+		net.Connections[i].Deadline = 1000
+	}
+	se, err := NewShardedEngine(net.Servers, analysis.Integrated{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(net.Connections) / 2
+	blockA, blockB := net.Connections[:half], net.Connections[half:]
+
+	// A chain component on block A's servers whose middle link, once
+	// released, splits it in two: base is the block's own connections,
+	// chain adds bridging 2-hop links over consecutive servers.
+	var chain []topo.Connection
+	for i := 0; i+1 < 4; i++ {
+		c := blockA[0]
+		c.Name = fmt.Sprintf("chain%d", i)
+		c.Path = []int{i, i + 1}
+		chain = append(chain, c)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errc := make(chan error, 2)
+	go func() {
+		// Churn the chain: admit all, release the middle (splitting the
+		// component and, with shard 2 kept empty, inviting a rebalance),
+		// re-admit, repeat.
+		defer wg.Done()
+		ctx := context.Background()
+		for round := 0; round < 6; round++ {
+			var admits []Op
+			for _, c := range chain {
+				admits = append(admits, Op{Kind: OpAdmit, Candidate: c})
+			}
+			if _, err := se.ApplyBatch(ctx, admits); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := se.ApplyBatch(ctx, []Op{
+				{Kind: OpRelease, Name: "chain1"},
+				{Kind: OpRelease, Name: "chain0"},
+				{Kind: OpRelease, Name: "chain2"},
+			}); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		// Concurrent disjoint envelopes on block B.
+		defer wg.Done()
+		ctx := context.Background()
+		for round := 0; round < 6; round++ {
+			var ops []Op
+			for _, c := range blockB {
+				ops = append(ops, Op{Kind: OpAdmit, Candidate: c})
+			}
+			if _, err := se.ApplyBatch(ctx, ops); err != nil {
+				errc <- err
+				return
+			}
+			ops = ops[:0]
+			for _, c := range blockB {
+				ops = append(ops, Op{Kind: OpRelease, Name: c.Name})
+			}
+			if _, err := se.ApplyBatch(ctx, ops); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Everything churned back out; the router must agree with the shards.
+	if n := se.Count(); n != 0 {
+		t.Fatalf("count %d after full churn, want 0: %v", n, se.Admitted())
+	}
+	// The fabric must still be fully usable: admit both blocks again.
+	for _, c := range append(append([]topo.Connection(nil), blockA...), blockB...) {
+		if d, err := se.Admit(c); err != nil || !d.Admitted {
+			t.Fatalf("post-churn admit %s: %+v err=%v", c.Name, d, err)
+		}
+	}
+}

@@ -126,6 +126,21 @@ type propagation struct {
 }
 
 func newPropagation(net *topo.Network) *propagation {
+	return newPropagationPooled(net, false)
+}
+
+// newSparsePropagation is newPropagation for the incremental Extend/Shrink
+// drivers, which replay most units from trace: only the dirty closure's few
+// connections ever shift or append stages, so the shift-pool buffers are
+// carved lazily per slot and no stage slab is pre-carved (a replayed
+// connection's stage list aliases the immutable trace; a recomputed one
+// grows from nil). Sizing either for the whole network would dominate the
+// per-extension allocation bill.
+func newSparsePropagation(net *topo.Network) *propagation {
+	return newPropagationPooled(net, true)
+}
+
+func newPropagationPooled(net *topo.Network, sparse bool) *propagation {
 	p := &propagation{
 		env:     make([]minplus.Curve, len(net.Connections)),
 		delay:   make([]float64, len(net.Connections)),
@@ -137,20 +152,29 @@ func newPropagation(net *topo.Network) *propagation {
 	// add at most two breakpoints to its envelope: one flat slab backs
 	// every stage list and the shift pool, fixed-capacity sub-sliced so
 	// concurrent chains append into disjoint ranges.
-	totalHops := 0
-	for _, c := range net.Connections {
-		totalHops += len(c.Path)
+	var stageSlab []Stage
+	if !sparse {
+		totalHops := 0
+		for _, c := range net.Connections {
+			totalHops += len(c.Path)
+		}
+		stageSlab = make([]Stage, 0, totalHops)
 	}
-	stageSlab := make([]Stage, 0, totalHops)
 	hints := make([]int, len(net.Connections))
 	for i, c := range net.Connections {
 		p.env[i] = c.SourceEnvelope()
-		n := len(stageSlab)
-		stageSlab = stageSlab[:n+len(c.Path)]
-		p.stage[i] = stageSlab[n:n:n+len(c.Path)]
+		if !sparse {
+			n := len(stageSlab)
+			stageSlab = stageSlab[:n+len(c.Path)]
+			p.stage[i] = stageSlab[n:n:n+len(c.Path)]
+		}
 		hints[i] = p.env[i].NumPoints() + 2*len(c.Path) + 2
 	}
-	p.shift = minplus.NewShiftPool(hints)
+	if sparse {
+		p.shift = minplus.NewLazyShiftPool(hints)
+	} else {
+		p.shift = minplus.NewShiftPool(hints)
+	}
 	return p
 }
 

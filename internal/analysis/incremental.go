@@ -61,6 +61,13 @@ type stepCore interface {
 	check(net *topo.Network) error
 	// units returns the ordered partition of the normalized network.
 	units(net *topo.Network) ([]unitSpec, error)
+	// reusableUnits reports whether the partition depends only on the
+	// servers and a topological order — in which case a trial whose
+	// checker still shares the baseline's witness can reuse the baseline's
+	// unit list instead of re-deriving it. Decomposed (one unit per server
+	// in witness order) qualifies; Integrated (chain partition, which a
+	// bridging candidate can merge) does not.
+	reusableUnits() bool
 	// apply runs the unit's computation. ok=false degrades the whole
 	// analysis to +Inf, exactly as in the full pass. idx is the network's
 	// ConnectionIndex, computed once per (trial) network by the driver so
@@ -112,52 +119,82 @@ func (u unitSpec) crossing(idx [][]int) []int {
 
 // connTrace is one connection's propagation state immediately after a unit.
 type connTrace struct {
+	conn   int
 	env    minplus.Curve
 	delay  float64
 	next   int
 	stages []Stage
 }
 
+// serverBacklog is one unit server's recorded backlog bound.
+type serverBacklog struct {
+	server  int
+	backlog float64
+}
+
 // unitTrace records the post-unit state of every crossing connection and
 // the backlog bounds of the unit's servers. All values are in normalized
-// units and immutable once recorded.
+// units and immutable once recorded. Pair slices, not maps: a unit crosses
+// a handful of connections, and the churn-heavy paths (remapShrunkTrace in
+// particular) copy traces wholesale, which a slice does in one allocation
+// with no rehashing.
 type unitTrace struct {
-	post    map[int]connTrace
-	backlog map[int]float64
+	post    []connTrace
+	backlog []serverBacklog
+}
+
+// crosses reports whether the trace includes connection c.
+func (t *unitTrace) crosses(c int) bool {
+	for i := range t.post {
+		if t.post[i].conn == c {
+			return true
+		}
+	}
+	return false
 }
 
 // recordUnit snapshots the propagation state after a unit was applied.
 func recordUnit(u unitSpec, conns []int, p *propagation) *unitTrace {
 	t := &unitTrace{
-		post:    make(map[int]connTrace, len(conns)),
-		backlog: make(map[int]float64, len(u.servers)),
+		post:    make([]connTrace, 0, len(conns)),
+		backlog: make([]serverBacklog, 0, len(u.servers)),
 	}
 	for _, c := range conns {
-		t.post[c] = connTrace{
+		t.post = append(t.post, connTrace{
+			conn: c,
 			// The live envelope may sit in the propagation's recycled
 			// shift buffers; the trace outlives them, so detach it.
-			env:    p.env[c].Clone(),
-			delay:  p.delay[c],
-			next:   p.next[c],
-			stages: append([]Stage(nil), p.stage[c]...),
-		}
+			env:   p.env[c].Clone(),
+			delay: p.delay[c],
+			next:  p.next[c],
+			// Exact capacity, deliberately: replayUnit aliases this slice
+			// into later propagations, and len==cap forces any append
+			// there to reallocate instead of writing into the shared
+			// backing array (which concurrent Extends also alias).
+			stages: append(make([]Stage, 0, len(p.stage[c])), p.stage[c]...),
+		})
 	}
 	for _, s := range u.servers {
-		t.backlog[s] = p.backlog[s]
+		t.backlog = append(t.backlog, serverBacklog{server: s, backlog: p.backlog[s]})
 	}
 	return t
 }
 
 // replayUnit splices the recorded post-unit state into the propagation.
+// The stage slices are aliased, not copied: recordUnit stores them with
+// len==cap, so the one appender (propagation.advance) reallocates on first
+// touch and the immutable trace can never be written through a replayed
+// alias — including by concurrent Extends replaying the same trace.
 func replayUnit(t *unitTrace, p *propagation) {
-	for c, st := range t.post {
-		p.env[c] = st.env
-		p.delay[c] = st.delay
-		p.next[c] = st.next
-		p.stage[c] = append([]Stage(nil), st.stages...)
+	for i := range t.post {
+		st := &t.post[i]
+		p.env[st.conn] = st.env
+		p.delay[st.conn] = st.delay
+		p.next[st.conn] = st.next
+		p.stage[st.conn] = st.stages
 	}
-	for s, b := range t.backlog {
-		p.backlog[s] = b
+	for _, sb := range t.backlog {
+		p.backlog[sb.server] = sb.backlog
 	}
 }
 
@@ -170,6 +207,18 @@ type Baseline struct {
 	scale float64
 	res   *Result // normalized-internal result
 	trace map[string]*unitTrace
+	// chk validates one-candidate extensions of orig in O(candidate)
+	// instead of re-validating the whole trial network; nil (e.g. after a
+	// failed witness recomputation) degrades every check to the full path.
+	chk *topo.Checker
+	// units caches the core's ordered partition of norm; trials whose
+	// checker shares the witness reuse it (see stepCore.reusableUnits).
+	// nil (unstable baselines) falls back to a fresh core.units call.
+	units []unitSpec
+	// idx caches norm.ConnectionIndex(); Extend derives the trial's index
+	// from it in O(candidate route) instead of rebuilding the whole
+	// per-server table. nil (unstable baselines) falls back to a rebuild.
+	idx [][]int
 	// unstable marks a baseline whose own network is unstable or
 	// unbounded; Extend degenerates to all-Inf exactly like the full pass.
 	unstable bool
@@ -207,6 +256,9 @@ func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
 		return nil, err
 	}
 	b := &Baseline{core: core, orig: orig, norm: norm, scale: scale, trace: map[string]*unitTrace{}}
+	// The network just passed checkAnalyzable, so the checker build cannot
+	// fail; a nil checker would merely fall back to full validation.
+	b.chk, _ = topo.NewChecker(orig)
 	if !norm.Stable() {
 		b.unstable = true
 		b.res = allInf(core.name(), norm)
@@ -216,7 +268,9 @@ func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.units = units
 	idx := norm.ConnectionIndex()
+	b.idx = idx
 	p := newPropagation(norm)
 	for _, u := range units {
 		// Baselines are built uncancellable: a half-built baseline would
@@ -240,6 +294,49 @@ func newBaseline(core stepCore, net *topo.Network) (*Baseline, error) {
 // units. The returned slices are copies.
 func (b *Baseline) Result() *Result {
 	return exportResult(b.res, b.scale)
+}
+
+// ValidateExtend validates trial — the baseline's network plus exactly one
+// appended candidate, in caller units — returning exactly the error
+// trial.Validate() would produce, in O(candidate) on the fast path. A nil
+// baseline (or one without a checker) degrades to the full validation, so
+// admission-layer prechecks can call it unconditionally.
+func (b *Baseline) ValidateExtend(trial *topo.Network) error {
+	if b == nil {
+		return trial.Validate()
+	}
+	return b.chk.ValidateExtend(trial)
+}
+
+// trialUnits returns the core's ordered partition of the trial network,
+// reusing the baseline's cached unit list when the partition depends only
+// on the (unchanged) servers and a witness order the trial's checker still
+// shares. Unit specs are immutable server tuples, so sharing the slice
+// across baselines is safe.
+func (b *Baseline) trialUnits(trial *topo.Network, pchk *topo.Checker) ([]unitSpec, error) {
+	if b.units != nil && b.core.reusableUnits() && pchk.SharesWitness(b.chk) {
+		return b.units, nil
+	}
+	return b.core.units(trial)
+}
+
+// extendIndex derives the trial's ConnectionIndex from the baseline's
+// cached one: the candidate sits at the last index, so only the rows of
+// the servers on its route change. Touched rows are reallocated with a
+// full-slice clamp (the cached rows are shared with the baseline and
+// possibly its ancestors); untouched rows alias the cache, which is safe
+// because index rows are never written after construction.
+func (b *Baseline) extendIndex(trial *topo.Network) [][]int {
+	if b.idx == nil {
+		return trial.ConnectionIndex()
+	}
+	candIdx := len(trial.Connections) - 1
+	out := append([][]int(nil), b.idx...)
+	for _, s := range trial.Connections[candIdx].Path {
+		row := out[s]
+		out[s] = append(row[:len(row):len(row)], candIdx)
+	}
+	return out
 }
 
 // Connections returns how many connections the baseline covers.
@@ -318,9 +415,17 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 		Servers:     b.orig.Servers,
 		Connections: append(append([]topo.Connection(nil), b.orig.Connections...), cand),
 	}
-	if err := checkAnalyzable(trialOrig); err != nil {
-		return nil, err
+	// The baseline's own network was validated when it was built, so only
+	// the candidate needs checking — O(candidate) via the cached checker
+	// instead of re-validating (and re-sorting) the whole trial network on
+	// every admission test.
+	if err := b.chk.ValidateExtend(trialOrig); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
 	}
+	// Checker for the would-be promoted baseline: reuses the witness order
+	// (recomputing it only for routes that disagree with it) and extends
+	// the name set by the candidate.
+	pchk := b.chk.Extend(trialOrig)
 	// Trial in normalized units: the scale depends only on the servers,
 	// which the candidate does not change.
 	trial := trialOrig
@@ -332,9 +437,8 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 			Connections: append(append([]topo.Connection(nil), b.norm.Connections...), ncand),
 		}
 	}
-	if err := b.core.check(trial); err != nil {
-		return nil, err
-	}
+	// core.check inspects only the servers (e.g. the FIFO-only rule),
+	// which the candidate does not change and newBaseline already checked.
 	mkExt := func(res *Result, stats ExtendStats, promoted *Baseline) *Extension {
 		return &Extension{Stats: stats, res: res, scale: b.scale, promoted: promoted}
 	}
@@ -346,15 +450,15 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 		// total by handing back an unstable baseline.
 		res := allInf(b.core.name(), trial)
 		promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
-			res: res, trace: map[string]*unitTrace{}, unstable: true}
+			res: res, trace: map[string]*unitTrace{}, unstable: true, chk: pchk}
 		return mkExt(res, ExtendStats{Affected: len(b.orig.Connections)}, promoted), nil
 	}
-	units, err := b.core.units(trial)
+	units, err := b.trialUnits(trial, pchk)
 	if err != nil {
 		return nil, err
 	}
-	idx := trial.ConnectionIndex()
-	p := newPropagation(trial)
+	idx := b.extendIndex(trial)
+	p := newSparsePropagation(trial)
 	candIdx := len(trial.Connections) - 1
 	dirty := map[int]bool{candIdx: true}
 	stats := ExtendStats{}
@@ -385,7 +489,7 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 			if !ok {
 				res := allInf(b.core.name(), trial)
 				promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
-					res: res, trace: map[string]*unitTrace{}, unstable: true}
+					res: res, trace: map[string]*unitTrace{}, unstable: true, chk: pchk}
 				return mkExt(res, ExtendStats{Affected: len(b.orig.Connections)}, promoted), nil
 			}
 			for _, c := range conns {
@@ -407,6 +511,9 @@ func (b *Baseline) ExtendContext(ctx context.Context, cand topo.Connection) (*Ex
 		scale: b.scale,
 		res:   p.result(b.core.name()),
 		trace: newTrace,
+		chk:   pchk,
+		units: units,
+		idx:   idx,
 	}
 	return mkExt(promoted.res, stats, promoted), nil
 }
@@ -425,15 +532,28 @@ func removeConnection(conns []topo.Connection, remove int) []topo.Connection {
 // absent by construction; the guard keeps a would-be bug loud in tests
 // rather than silently replaying stale state.
 func remapShrunkTrace(t *unitTrace, removed int) *unitTrace {
-	out := &unitTrace{post: make(map[int]connTrace, len(t.post)), backlog: t.backlog}
-	for c, st := range t.post {
+	// Traces are immutable once recorded, so when no index clears the
+	// removed one — releases of recently admitted connections, the common
+	// churn shape — the remap is the identity and the trace is shared
+	// instead of copied.
+	needsRemap := false
+	for i := range t.post {
+		c := t.post[i].conn
 		if c == removed {
 			panic("analysis: shrink replayed a unit crossed by the removed connection")
 		}
 		if c > removed {
-			c--
+			needsRemap = true
 		}
-		out.post[c] = st
+	}
+	if !needsRemap {
+		return t
+	}
+	out := &unitTrace{post: append([]connTrace(nil), t.post...), backlog: t.backlog}
+	for i := range out.post {
+		if out.post[i].conn > removed {
+			out.post[i].conn--
+		}
 	}
 	return out
 }
@@ -463,9 +583,13 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 		Servers:     b.orig.Servers,
 		Connections: removeConnection(b.orig.Connections, remove),
 	}
-	if err := checkAnalyzable(trialOrig); err != nil {
-		return nil, err
-	}
+	// No re-validation: a valid network stays valid under connection
+	// removal. The servers are untouched, every survivor was individually
+	// valid, the name set only shrinks, and the route graph loses edges,
+	// so no cycle can appear. core.check likewise inspects only the
+	// (unchanged) servers. Skipping the O(network) checks here is what
+	// keeps a release proportional to its affected set.
+	pchk := b.chk.Shrink(b.orig.Connections[remove])
 	// Shrunken trial in normalized units: the scale depends only on the
 	// servers, which a release does not change.
 	trial := trialOrig
@@ -474,9 +598,6 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 			Servers:     b.norm.Servers,
 			Connections: removeConnection(b.norm.Connections, remove),
 		}
-	}
-	if err := b.core.check(trial); err != nil {
-		return nil, err
 	}
 	mkExt := func(res *Result, stats ExtendStats, promoted *Baseline) *Extension {
 		return &Extension{Stats: stats, res: res, scale: b.scale, promoted: promoted}
@@ -488,15 +609,15 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 	if !trial.Stable() {
 		res := allInf(b.core.name(), trial)
 		promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
-			res: res, trace: map[string]*unitTrace{}, unstable: true}
+			res: res, trace: map[string]*unitTrace{}, unstable: true, chk: pchk}
 		return mkExt(res, ExtendStats{Affected: len(trial.Connections)}, promoted), nil
 	}
-	units, err := b.core.units(trial)
+	units, err := b.trialUnits(trial, pchk)
 	if err != nil {
 		return nil, err
 	}
 	idx := trial.ConnectionIndex()
-	p := newPropagation(trial)
+	p := newSparsePropagation(trial)
 	dirty := map[int]bool{}
 	stats := ExtendStats{}
 	newTrace := make(map[string]*unitTrace, len(units))
@@ -511,7 +632,7 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 			// The removed connection seeds the closure: every unit it
 			// crossed in the baseline run loses a crossing connection and
 			// must recompute.
-			if _, crossed := old.post[remove]; crossed {
+			if old.crosses(remove) {
 				isDirty = true
 			}
 		}
@@ -534,7 +655,7 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 			if !ok {
 				res := allInf(b.core.name(), trial)
 				promoted := &Baseline{core: b.core, orig: trialOrig, norm: trial, scale: b.scale,
-					res: res, trace: map[string]*unitTrace{}, unstable: true}
+					res: res, trace: map[string]*unitTrace{}, unstable: true, chk: pchk}
 				return mkExt(res, ExtendStats{Affected: len(trial.Connections)}, promoted), nil
 			}
 			for _, c := range conns {
@@ -557,6 +678,9 @@ func (b *Baseline) ShrinkContext(ctx context.Context, remove int) (*Extension, e
 		scale: b.scale,
 		res:   p.result(b.core.name()),
 		trace: newTrace,
+		chk:   pchk,
+		units: units,
+		idx:   idx,
 	}
 	return mkExt(promoted.res, stats, promoted), nil
 }
@@ -567,6 +691,8 @@ type decomposedCore struct{}
 
 func (decomposedCore) name() string                  { return "Decomposed" }
 func (decomposedCore) check(net *topo.Network) error { return nil }
+
+func (decomposedCore) reusableUnits() bool { return true }
 
 func (decomposedCore) units(net *topo.Network) ([]unitSpec, error) {
 	order, err := net.TopologicalOrder()
@@ -606,6 +732,11 @@ func (ic integratedCore) check(net *topo.Network) error {
 	}
 	return nil
 }
+
+// reusableUnits is false for the integrated partition: a candidate whose
+// route bridges two chains merges them, so the unit list must be
+// re-derived per trial.
+func (ic integratedCore) reusableUnits() bool { return false }
 
 func (ic integratedCore) units(net *topo.Network) ([]unitSpec, error) {
 	subnets, err := ic.a.partition(net)

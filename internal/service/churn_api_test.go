@@ -193,7 +193,7 @@ func TestListPagination(t *testing.T) {
 		"/v1/connections?limit=-1",
 		"/v1/connections?limit=x",
 		"/v1/connections?cursor=%21%21",
-		"/v1/connections?cursor=" + encodeCursor(3)[:1],
+		"/v1/connections?cursor=" + encodeCursor(3, srv.State().SnapshotVersion())[:1],
 	} {
 		if w := do(t, srv, "GET", path, ""); w.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", path, w.Code)
@@ -201,7 +201,7 @@ func TestListPagination(t *testing.T) {
 	}
 
 	// A cursor past the end is an empty page, not an error.
-	w := do(t, srv, "GET", "/v1/connections?limit=2&cursor="+encodeCursor(99), "")
+	w := do(t, srv, "GET", "/v1/connections?limit=2&cursor="+encodeCursor(99, srv.State().SnapshotVersion()), "")
 	past := decode[ListResponse](t, w)
 	if w.Code != http.StatusOK || len(past.Connections) != 0 || past.NextCursor != "" {
 		t.Fatalf("past-the-end page: %d %+v", w.Code, past)

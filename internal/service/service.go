@@ -390,6 +390,7 @@ const (
 	CodeTimeout          = "timeout"
 	CodeNotFound         = "not_found"
 	CodeBodyTooLarge     = "body_too_large"
+	CodeStaleCursor      = "stale_cursor"
 	CodeInternal         = "internal"
 )
 
@@ -976,19 +977,37 @@ func (s *Server) handleBatch(nw *Network, w http.ResponseWriter, r *http.Request
 		return
 	}
 	defer s.releaseSlot()
+
+	// The envelope runs through the engine's pipelined batch path: one
+	// snapshot commit per shard touched instead of one per operation, and
+	// no interleaving with concurrent traffic mid-envelope. A hard
+	// deadline therefore sheds the whole envelope with nothing committed
+	// (previously the committed prefix stayed).
+	ops := make([]admission.Op, len(req.Operations))
+	for i, op := range req.Operations {
+		if op.Op == "admit" {
+			ops[i] = admission.Op{Kind: admission.OpAdmit, Candidate: cands[i]}
+		} else {
+			ops[i] = admission.Op{Kind: admission.OpRelease, Name: op.Name}
+		}
+	}
+	results, degraded, err := s.runBatch(ctx, nw, req.DryRun, cands, ops, req.TimeoutSeconds)
+	if err != nil {
+		if admission.IsCanceled(err) {
+			s.shed(nw, w, "batch deadline exceeded")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+
 	resp := BatchResponse{DryRun: req.DryRun, Results: make([]BatchOpResult, 0, len(req.Operations))}
 	for i, op := range req.Operations {
 		item := BatchOpResult{Index: i, Op: op.Op}
+		r := results[i]
 		switch op.Op {
 		case "admit":
-			d, degraded, err := s.runAdmission(ctx, nw, epBatch, req.DryRun, cands[i], req.TimeoutSeconds)
-			if err != nil && admission.IsCanceled(err) {
-				// The hard deadline passed mid-batch; nothing more will be
-				// written, so the whole request sheds (committed prefixes
-				// stay, like repeated single-op requests would).
-				s.shed(nw, w, fmt.Sprintf("batch deadline exceeded at operation %d", i))
-				return
-			}
+			d := r.Decision
 			dec := &BatchAdmitItem{
 				Connection: cands[i].Name,
 				Admitted:   d.Admitted,
@@ -999,9 +1018,9 @@ func (s *Server) handleBatch(nw *Network, w http.ResponseWriter, r *http.Request
 				Degraded:   degraded,
 			}
 			switch {
-			case err != nil:
+			case r.Err != nil:
 				item.Status = BatchStatusError
-				item.Error = &ErrorDetail{Code: d.Code, Message: err.Error()}
+				item.Error = &ErrorDetail{Code: d.Code, Message: r.Err.Error()}
 				if item.Error.Code == "" {
 					item.Error.Code = CodeInvalidSpec
 				}
@@ -1016,8 +1035,7 @@ func (s *Server) handleBatch(nw *Network, w http.ResponseWriter, r *http.Request
 				resp.Rejected++
 			}
 		case "release":
-			info, ok := nw.state.Release(op.Name)
-			if !ok {
+			if !r.Released {
 				item.Status = BatchStatusError
 				item.Error = &ErrorDetail{Code: CodeNotFound,
 					Message: fmt.Sprintf("no admitted connection named %q", op.Name)}
@@ -1025,13 +1043,84 @@ func (s *Server) handleBatch(nw *Network, w http.ResponseWriter, r *http.Request
 				break
 			}
 			item.Status = BatchStatusReleased
-			item.Mode = releaseMode(info)
+			item.Mode = releaseMode(r.Release)
 			resp.Released++
 		}
 		resp.Results = append(resp.Results, item)
 	}
 	resp.Count = nw.state.Count()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatch executes a whole envelope through the pipelined batch path
+// under the serving degradation policy. Dry-run envelopes evaluate every
+// candidate against one pinned snapshot (TestBatch); live envelopes apply
+// through ApplyBatch. If the soft budget expires while the hard deadline
+// is alive, the envelope reruns on the decomposed fallback — sound
+// because the canceled run committed nothing (dry runs never commit; a
+// single-shard live envelope is atomic). A multi-shard live envelope
+// commits per shard atomically, so it skips the soft budget rather than
+// risk re-applying a shard that already committed; it runs to the hard
+// deadline undegraded.
+func (s *Server) runBatch(ctx context.Context, nw *Network, dryRun bool, cands []topo.Connection, ops []admission.Op, override float64) ([]admission.OpResult, bool, error) {
+	tctx, tm := analysis.WithTimings(ctx)
+	defer s.observeStages(nw, epBatch, tm)
+	run := func(runCtx context.Context) ([]admission.OpResult, error) {
+		if dryRun {
+			return nw.state.TestBatch(runCtx, cands)
+		}
+		br, err := nw.state.ApplyBatch(runCtx, ops)
+		if err != nil {
+			return nil, err
+		}
+		return br.Results, nil
+	}
+	canDegrade := degradable(nw.state.Engine().Analyzer()) && (dryRun || nw.state.Shards() == 1)
+	sctx, cancel, hasSoft := s.softContext(tctx, override)
+	if !hasSoft || !canDegrade {
+		cancel()
+		res, err := run(tctx)
+		return res, false, err
+	}
+	res, err := run(sctx)
+	cancel()
+	if err == nil || !admission.IsCanceled(err) || ctx.Err() != nil {
+		return res, false, err
+	}
+	nw.metrics.DegradedServed()
+	s.log.Warn("batch degraded to decomposed bound",
+		"network", nw.id, "dry_run", dryRun, "operations", len(ops))
+	if dryRun {
+		res, err = nw.state.TestBatchWith(tctx, fallbackAnalyzer, cands)
+	} else {
+		res, err = s.applyBatchDegraded(tctx, nw, cands, ops)
+	}
+	if err != nil {
+		return res, false, err
+	}
+	return res, true, nil
+}
+
+// applyBatchDegraded replays a live envelope per-op on the fallback
+// analyzer: the canceled pipelined run committed nothing, so the replay
+// starts clean. Degraded envelopes trade the single-commit invariant for
+// meeting the deadline (per-op commits, like the pre-pipelining path).
+func (s *Server) applyBatchDegraded(ctx context.Context, nw *Network, cands []topo.Connection, ops []admission.Op) ([]admission.OpResult, error) {
+	out := make([]admission.OpResult, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case admission.OpAdmit:
+			d, err := nw.state.AdmitWith(ctx, fallbackAnalyzer, cands[i])
+			if err != nil && admission.IsCanceled(err) {
+				return nil, err
+			}
+			out[i] = admission.OpResult{Decision: d, Err: err}
+		case admission.OpRelease:
+			info, ok := nw.state.Release(op.Name)
+			out[i] = admission.OpResult{Released: ok, Release: info}
+		}
+	}
+	return out, nil
 }
 
 // releaseMode names how the engine absorbed a release in API responses.
@@ -1054,21 +1143,34 @@ type ListResponse struct {
 }
 
 // encodeCursor / decodeCursor wrap the page offset in an opaque token so
-// clients do not couple to the paging scheme.
-func encodeCursor(offset int) string {
-	return base64.RawURLEncoding.EncodeToString([]byte(strconv.Itoa(offset)))
+// clients do not couple to the paging scheme. The token pins the snapshot
+// version the listing was cut from: offsets are only meaningful within one
+// immutable view, so a commit between pages (a release compacting the set,
+// an admission appending to it) invalidates outstanding cursors instead of
+// silently skipping or duplicating survivors.
+func encodeCursor(offset int, version uint64) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(strconv.Itoa(offset) + "@" + strconv.FormatUint(version, 10)))
 }
 
-func decodeCursor(token string) (int, error) {
+func decodeCursor(token string) (int, uint64, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(token)
 	if err != nil {
-		return 0, fmt.Errorf("malformed cursor")
+		return 0, 0, fmt.Errorf("malformed cursor")
 	}
-	off, err := strconv.Atoi(string(raw))
-	if err != nil || off < 0 {
-		return 0, fmt.Errorf("malformed cursor")
+	off, ver, found := strings.Cut(string(raw), "@")
+	if !found {
+		return 0, 0, fmt.Errorf("malformed cursor")
 	}
-	return off, nil
+	offset, err := strconv.Atoi(off)
+	if err != nil || offset < 0 {
+		return 0, 0, fmt.Errorf("malformed cursor")
+	}
+	version, err := strconv.ParseUint(ver, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("malformed cursor")
+	}
+	return offset, version, nil
 }
 
 func (s *Server) handleList(nw *Network, w http.ResponseWriter, r *http.Request) {
@@ -1083,13 +1185,15 @@ func (s *Server) handleList(nw *Network, w http.ResponseWriter, r *http.Request)
 		limit = n
 	}
 	offset := 0
+	cursorVersion := uint64(0)
+	hasCursor := false
 	if v := q.Get("cursor"); v != "" {
-		off, err := decodeCursor(v)
+		off, ver, err := decodeCursor(v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidSpec, err.Error())
 			return
 		}
-		offset = off
+		offset, cursorVersion, hasCursor = off, ver, true
 	}
 
 	// Replica read: the listing is assembled lock-free from the latest
@@ -1097,6 +1201,16 @@ func (s *Server) handleList(nw *Network, w http.ResponseWriter, r *http.Request)
 	// version of the write history it reflects.
 	conns, version, util := nw.state.ReadView()
 	setSnapshotVersion(w, version)
+
+	// A cursor is an offset into the snapshot it was cut from; any commit
+	// since then may have reordered or compacted the set, so continuing to
+	// page would skip or duplicate survivors. 410 tells the client to
+	// restart the listing.
+	if hasCursor && cursorVersion != version {
+		writeError(w, http.StatusGone, CodeStaleCursor,
+			fmt.Sprintf("cursor was cut from snapshot version %d, current is %d; restart the listing", cursorVersion, version))
+		return
+	}
 
 	// ?server= narrows the listing to connections whose path crosses the
 	// named fabric server.
@@ -1134,7 +1248,7 @@ func (s *Server) handleList(nw *Network, w http.ResponseWriter, r *http.Request)
 	}
 	if limit > 0 && len(page) > limit {
 		page = page[:limit]
-		resp.NextCursor = encodeCursor(offset + limit)
+		resp.NextCursor = encodeCursor(offset+limit, version)
 	}
 	spec := netspec.ToSpec(&topo.Network{Servers: nw.state.Servers(), Connections: page})
 	resp.Connections = spec.Connections
@@ -1210,6 +1324,9 @@ type StatsResponse struct {
 	Tests             StatsCounter     `json:"tests"`
 	Releases          StatsCounter     `json:"releases"`
 	CommitConflicts   uint64           `json:"commit_conflicts"`
+	BatchEnvelopes    uint64           `json:"batch_envelopes"`
+	BatchOps          uint64           `json:"batch_ops"`
+	BatchCommits      uint64           `json:"batch_commits"`
 	Affected          []AffectedBucket `json:"affected_histogram"`
 	AffectedCount     uint64           `json:"affected_count"`
 	AffectedSum       uint64           `json:"affected_sum"`
@@ -1233,6 +1350,9 @@ func (s *Server) handleStats(nw *Network, w http.ResponseWriter, r *http.Request
 		Tests:             StatsCounter{Incremental: st.IncrementalTests, Full: st.FullTests},
 		Releases:          StatsCounter{Incremental: st.IncrementalReleases, Full: st.CompactedReleases},
 		CommitConflicts:   st.CommitConflicts,
+		BatchEnvelopes:    st.BatchEnvelopes,
+		BatchOps:          st.BatchOps,
+		BatchCommits:      st.BatchCommits,
 		AffectedCount:     st.AffectedCount,
 		AffectedSum:       st.AffectedSum,
 	}

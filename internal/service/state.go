@@ -102,6 +102,31 @@ func (s *State) AdmitWith(ctx context.Context, analyzer analysis.Analyzer, cand 
 	return s.eng.AdmitWith(ctx, analyzer, cand)
 }
 
+// ApplyBatch evaluates a whole mixed admit/release envelope through the
+// engine's pipelined batch path: every operation sees the set as left by
+// its predecessors, decisions are bit-identical to per-op calls, and the
+// envelope commits one snapshot per shard touched instead of one per op.
+// A canceled call (admission.IsCanceled) commits nothing on any shard it
+// had not finished.
+func (s *State) ApplyBatch(ctx context.Context, ops []admission.Op) (*admission.BatchResult, error) {
+	return s.eng.ApplyBatch(ctx, ops)
+}
+
+// TestBatch evaluates a dry-run envelope of candidates against one pinned
+// snapshot per shard: the report is internally consistent even while
+// concurrent admissions commit, and each candidate is judged against the
+// current admitted set alone. Nothing is committed.
+func (s *State) TestBatch(ctx context.Context, cands []topo.Connection) ([]admission.OpResult, error) {
+	return s.eng.TestBatch(ctx, cands)
+}
+
+// TestBatchWith is TestBatch on the degraded path: every candidate runs a
+// full analysis with the explicit analyzer against the same pinned
+// snapshots.
+func (s *State) TestBatchWith(ctx context.Context, analyzer analysis.Analyzer, cands []topo.Connection) ([]admission.OpResult, error) {
+	return s.eng.TestBatchWith(ctx, analyzer, cands)
+}
+
 // Remove releases a previously admitted connection by name.
 func (s *State) Remove(name string) bool { return s.eng.Remove(name) }
 

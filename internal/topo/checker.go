@@ -1,0 +1,137 @@
+package topo
+
+import "fmt"
+
+// Checker validates one-connection extensions of a known-valid network in
+// O(candidate) time instead of the O(network) full re-validation, by
+// reusing the facts an extension cannot invalidate: the servers and the
+// existing connections were already validated, and the cached topological
+// order witnesses the feedforward property for every existing route.
+//
+// The fast path is exact, not approximate: ValidateExtend returns nil or
+// precisely the error Network.Validate would return on the extended
+// network. The one case that cannot be decided locally — the candidate's
+// route disagrees with the cached witness order, which may or may not be a
+// cycle — falls back to the full validation.
+//
+// A Checker is immutable and safe for concurrent use.
+type Checker struct {
+	nServers int
+	nConns   int
+	// pos maps each server to its position in a witness topological order
+	// of the checker's network. The slice is shared across Extend/Shrink
+	// derivations and never written after construction.
+	pos []int
+	// names holds the non-empty connection names in the network.
+	names map[string]bool
+}
+
+// NewChecker builds a Checker over a network that already passed
+// Network.Validate, recomputing only the topological-order witness. The
+// network must not be mutated afterwards; appending to a copy of its
+// connection slice (how the analysis and admission layers build trials)
+// is fine.
+func NewChecker(n *Network) (*Checker, error) {
+	order, err := n.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, len(n.Servers))
+	for p, s := range order {
+		pos[s] = p
+	}
+	names := make(map[string]bool, len(n.Connections))
+	for _, c := range n.Connections {
+		if c.Name != "" {
+			names[c.Name] = true
+		}
+	}
+	return &Checker{nServers: len(n.Servers), nConns: len(n.Connections), pos: pos, names: names}, nil
+}
+
+// ValidateExtend validates trial — the checker's network plus exactly one
+// appended candidate — returning exactly what trial.Validate() would. The
+// servers and existing connections are valid by construction, so only the
+// candidate's self-consistency, a name collision, or a broken feedforward
+// property can fail. A nil Checker degrades to the full validation.
+func (k *Checker) ValidateExtend(trial *Network) error {
+	if k == nil {
+		return trial.Validate()
+	}
+	cand := trial.Connections[len(trial.Connections)-1]
+	if err := cand.Validate(k.nServers); err != nil {
+		return fmt.Errorf("topo: connection %d: %w", k.nConns, err)
+	}
+	if cand.Name != "" && k.names[cand.Name] {
+		return fmt.Errorf("topo: duplicate connection name %q", cand.Name)
+	}
+	for i := 0; i+1 < len(cand.Path); i++ {
+		if k.pos[cand.Path[i]] >= k.pos[cand.Path[i+1]] {
+			// The route disagrees with the cached witness; another witness
+			// may still exist, so this one case pays the full check.
+			return trial.Validate()
+		}
+	}
+	return nil
+}
+
+// Extend returns a checker for the extended network. Call it only after
+// ValidateExtend(trial) returned nil. When the candidate's route follows
+// the cached witness order, the witness carries over unchanged; otherwise
+// it is recomputed once from the trial.
+func (k *Checker) Extend(trial *Network) *Checker {
+	if k == nil {
+		return nil
+	}
+	cand := trial.Connections[len(trial.Connections)-1]
+	nk := &Checker{nServers: k.nServers, nConns: k.nConns + 1, pos: k.pos,
+		names: make(map[string]bool, len(k.names)+1)}
+	for n := range k.names {
+		nk.names[n] = true
+	}
+	if cand.Name != "" {
+		nk.names[cand.Name] = true
+	}
+	for i := 0; i+1 < len(cand.Path); i++ {
+		if k.pos[cand.Path[i]] >= k.pos[cand.Path[i+1]] {
+			order, err := trial.TopologicalOrder()
+			if err != nil {
+				// The caller promised a validated trial; degrade to the
+				// checker-less slow path rather than carry a bad witness.
+				return nil
+			}
+			pos := make([]int, len(order))
+			for p, s := range order {
+				pos[s] = p
+			}
+			nk.pos = pos
+			break
+		}
+	}
+	return nk
+}
+
+// SharesWitness reports whether both checkers carry the same witness
+// order — true exactly when the derivation chain between them never had
+// to recompute it. Callers use it to reuse order-derived caches across an
+// Extend or Shrink.
+func (k *Checker) SharesWitness(o *Checker) bool {
+	return k != nil && o != nil && len(k.pos) > 0 && len(o.pos) > 0 && &k.pos[0] == &o.pos[0]
+}
+
+// Shrink returns a checker for the network with the given connection
+// removed: a subgraph of a feedforward network is feedforward, so the
+// witness order carries over unchanged and only the name set shrinks.
+func (k *Checker) Shrink(removed Connection) *Checker {
+	if k == nil {
+		return nil
+	}
+	nk := &Checker{nServers: k.nServers, nConns: k.nConns - 1, pos: k.pos,
+		names: make(map[string]bool, len(k.names))}
+	for n := range k.names {
+		if n != removed.Name {
+			nk.names[n] = true
+		}
+	}
+	return nk
+}
